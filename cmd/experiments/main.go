@@ -1,0 +1,66 @@
+// Command experiments regenerates the per-claim verification tables
+// recorded in EXPERIMENTS.md — one experiment per theorem/lemma/figure
+// of the paper (E1..E15; see DESIGN.md for the index).
+//
+// Usage:
+//
+//	experiments               # run everything, aligned-text tables
+//	experiments -run E7,E11   # a subset
+//	experiments -markdown     # GitHub-flavored markdown (EXPERIMENTS.md body)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"joinpebble/internal/bench"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	csv := flag.Bool("csv", false, "emit CSV (one table after another)")
+	flag.Parse()
+
+	var selected []bench.Experiment
+	if *runList == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		var renderErr error
+		switch {
+		case *markdown:
+			renderErr = table.Markdown(os.Stdout)
+		case *csv:
+			renderErr = table.CSV(os.Stdout)
+		default:
+			renderErr = table.Render(os.Stdout)
+		}
+		if renderErr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", renderErr)
+			os.Exit(1)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

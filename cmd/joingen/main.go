@@ -1,0 +1,95 @@
+// Command joingen generates join workloads and their join graphs.
+//
+// Usage:
+//
+//	joingen -kind equijoin    [-left 100 -right 100 -domain 20 -skew 0.5] [-seed 1] [-out graph|relations]
+//	joingen -kind containment [-left 50 -right 50 -universe 200 -leftmax 3 -rightmax 8 -correlated]
+//	joingen -kind spatial     [-left 100 -right 100 -span 100 -extent 5 -clusters 0]
+//	joingen -kind spider      [-n 5]
+//
+// With -out graph (default) it writes the join graph in the text format
+// cmd/pebble reads; with -out relations it writes the two relations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"joinpebble/internal/family"
+	"joinpebble/internal/graph"
+	"joinpebble/internal/join"
+	"joinpebble/internal/relation"
+	"joinpebble/internal/workload"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "equijoin", "workload: equijoin, containment, spatial, spider")
+		out        = flag.String("out", "graph", "output: graph (join graph), relations, or dot (Graphviz)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		left       = flag.Int("left", 100, "left relation size")
+		right      = flag.Int("right", 100, "right relation size")
+		domain     = flag.Int64("domain", 20, "equijoin: distinct values")
+		skew       = flag.Float64("skew", 0, "equijoin: zipf skew (0 = uniform)")
+		universe   = flag.Int("universe", 200, "containment: element universe")
+		leftMax    = flag.Int("leftmax", 3, "containment: max probe-set size")
+		rightMax   = flag.Int("rightmax", 8, "containment: max stored-set size")
+		correlated = flag.Bool("correlated", true, "containment: draw probes as subsets of stored sets")
+		span       = flag.Float64("span", 100, "spatial: universe side length")
+		extent     = flag.Float64("extent", 5, "spatial: max rectangle side")
+		clusters   = flag.Int("clusters", 0, "spatial: cluster count (0 = uniform)")
+		n          = flag.Int("n", 5, "spider: family parameter")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *out, *seed, *left, *right, *domain, *skew,
+		*universe, *leftMax, *rightMax, *correlated, *span, *extent, *clusters, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "joingen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind, out string, seed int64, left, right int, domain int64, skew float64,
+	universe, leftMax, rightMax int, correlated bool, span, extent float64, clusters, n int) error {
+
+	var l, r *relation.Relation
+	var b *graph.Bipartite
+	switch kind {
+	case "equijoin":
+		wl := workload.Equijoin{LeftSize: left, RightSize: right, Domain: domain, Skew: skew}
+		l, r = wl.Generate(seed)
+		b = join.EquiGraph(l.Ints(), r.Ints())
+	case "containment":
+		wl := workload.SetContainment{LeftSize: left, RightSize: right, Universe: universe,
+			LeftMax: leftMax, RightMax: rightMax, Correlated: correlated}
+		l, r = wl.Generate(seed)
+		b = join.Graph(l.Sets(), r.Sets(), join.Contains)
+	case "spatial":
+		wl := workload.Spatial{LeftSize: left, RightSize: right, Span: span,
+			MaxExtent: extent, Clusters: clusters}
+		l, r = wl.Generate(seed)
+		b = join.Graph(l.Rects(), r.Rects(), join.Overlaps)
+	case "spider":
+		b = family.Spider(n)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+
+	switch out {
+	case "graph":
+		return graph.WriteBipartite(w, b)
+	case "dot":
+		return graph.WriteDOTBipartite(w, b, "JoinGraph")
+	case "relations":
+		if l == nil {
+			return fmt.Errorf("kind %q has no relation output; use -out graph", kind)
+		}
+		if err := l.Write(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return r.Write(w)
+	}
+	return fmt.Errorf("unknown output %q", out)
+}

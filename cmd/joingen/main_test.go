@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"joinpebble/internal/graph"
+)
+
+func gen(t *testing.T, kind, out string, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	err := run(&sb, kind, out, 1, 20, 20, 5, 0, 100, 3, 8, true, 50, 5, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestGenerateSpiderGraph(t *testing.T) {
+	out := gen(t, "spider", "graph", 4)
+	b, err := graph.ReadBipartite(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.M() != 8 || b.NLeft() != 5 || b.NRight() != 4 {
+		t.Fatalf("spider output wrong: %v", b)
+	}
+}
+
+func TestGenerateEquijoinGraphParses(t *testing.T) {
+	out := gen(t, "equijoin", "graph", 0)
+	b, err := graph.ReadBipartite(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NLeft() != 20 || b.NRight() != 20 {
+		t.Fatalf("sides %dx%d", b.NLeft(), b.NRight())
+	}
+}
+
+func TestGenerateRelationsOutput(t *testing.T) {
+	out := gen(t, "containment", "relations", 0)
+	if !strings.Contains(out, "relation R set") || !strings.Contains(out, "relation S set") {
+		t.Fatalf("relations output missing headers:\n%s", out)
+	}
+}
+
+func TestGenerateSpatialGraph(t *testing.T) {
+	out := gen(t, "spatial", "graph", 0)
+	if _, err := graph.ReadBipartite(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "bogus", "graph", 1, 5, 5, 5, 0, 10, 2, 4, false, 10, 2, 0, 3); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if err := run(&sb, "spider", "relations", 1, 5, 5, 5, 0, 10, 2, 4, false, 10, 2, 0, 3); err == nil {
+		t.Fatal("spider has no relations output")
+	}
+	if err := run(&sb, "equijoin", "bogus", 1, 5, 5, 5, 0, 10, 2, 4, false, 10, 2, 0, 3); err == nil {
+		t.Fatal("unknown output must fail")
+	}
+}
+
+func TestGenerateDOT(t *testing.T) {
+	out := gen(t, "spider", "dot", 3)
+	for _, want := range []string{"graph JoinGraph {", "r0 -- s0;", "rankdir=LR"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in DOT output:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	if gen(t, "equijoin", "graph", 0) != gen(t, "equijoin", "graph", 0) {
+		t.Fatal("same flags and seed must reproduce output")
+	}
+}

@@ -1,0 +1,109 @@
+// Command pebble solves the PEBBLE problem (Definition 4.1) for a graph
+// read from a file or stdin in the text format of internal/graph:
+//
+//	bipartite <nLeft> <nRight>   (or: graph <n>)
+//	e <u> <v>                    (one per edge)
+//
+// Usage:
+//
+//	pebble [-solver auto] [-scheme] [file]
+//
+// It prints the verified pebbling cost π̂, the effective cost π, the
+// Lemma 2.1 bounds, and whether the scheme is perfect; -scheme also
+// prints the configuration sequence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/graph"
+	"joinpebble/internal/solver"
+)
+
+func main() {
+	solverName := flag.String("solver", "auto", "solver: auto, exact, exact-bnb, approx-1.25, cycle-cover, greedy, greedy+2opt, path-cover, naive, equijoin, matching")
+	showScheme := flag.Bool("scheme", false, "print the full configuration sequence")
+	decideK := flag.Int("decide", -1, "answer PEBBLE(D): is π(G) <= K? (-1 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pebble [flags] [file]\nreads the graph from stdin when no file is given\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if err := run(os.Stdout, *solverName, *showScheme, *decideK, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "pebble:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, solverName string, showScheme bool, decideK int, path string) error {
+	var in io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	v, err := graph.Read(in)
+	if err != nil {
+		return err
+	}
+	var g *graph.Graph
+	switch t := v.(type) {
+	case *graph.Graph:
+		g = t
+	case *graph.Bipartite:
+		g = t.Graph()
+	}
+
+	if decideK >= 0 {
+		ok, err := solver.Decide(g, decideK)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "PEBBLE(D): π(G) <= %d is %v\n", decideK, ok)
+		return nil
+	}
+
+	s, err := pickSolver(solverName)
+	if err != nil {
+		return err
+	}
+	scheme, cost, err := solver.SolveAndVerify(s, g)
+	if err != nil {
+		return err
+	}
+	lo, hi := core.LowerBound(g), core.UpperBound(g)
+	eff := scheme.EffectiveCost(g)
+	fmt.Fprintf(w, "vertices        %d\n", g.N())
+	fmt.Fprintf(w, "edges (m)       %d\n", g.M())
+	fmt.Fprintf(w, "components (β₀) %d\n", core.Betti0(g))
+	fmt.Fprintf(w, "solver          %s\n", s.Name())
+	fmt.Fprintf(w, "cost π̂          %d   (bounds: %d..%d)\n", cost, lo, hi)
+	fmt.Fprintf(w, "effective π     %d   (m = %d)\n", eff, g.M())
+	fmt.Fprintf(w, "perfect         %v\n", eff == g.M())
+	if showScheme {
+		fmt.Fprintln(w, "scheme:")
+		for i, c := range scheme {
+			fmt.Fprintf(w, "  %4d  %v\n", i+1, c)
+		}
+	}
+	return nil
+}
+
+func pickSolver(name string) (solver.Solver, error) {
+	all := append(solver.All(),
+		solver.Equijoin{}, solver.MatchingSolver{}, solver.ExactBnB{}, solver.Auto{})
+	for _, s := range all {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown solver %q", name)
+}

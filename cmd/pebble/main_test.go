@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnSpiderFile(t *testing.T) {
+	// Spider G_3: π̂ should be 8 (π = 7 = m + 1).
+	path := writeTemp(t, "bipartite 4 3\ne 0 0\ne 1 0\ne 0 1\ne 2 1\ne 0 2\ne 3 2\n")
+	var sb strings.Builder
+	if err := run(&sb, "exact", true, -1, path); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"edges (m)       6", "cost π̂          8", "perfect         false", "scheme:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGeneralGraph(t *testing.T) {
+	path := writeTemp(t, "graph 4\ne 0 1\ne 1 2\ne 2 3\n")
+	var sb strings.Builder
+	if err := run(&sb, "auto", false, -1, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "perfect         true") {
+		t.Fatalf("path should pebble perfectly:\n%s", sb.String())
+	}
+}
+
+func TestRunUnknownSolver(t *testing.T) {
+	path := writeTemp(t, "graph 2\ne 0 1\n")
+	var sb strings.Builder
+	if err := run(&sb, "bogus", false, -1, path); err == nil {
+		t.Fatal("unknown solver must error")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "auto", false, -1, "/nonexistent/graph.txt"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestRunEquijoinSolverRejectsHardGraph(t *testing.T) {
+	path := writeTemp(t, "bipartite 4 3\ne 0 0\ne 1 0\ne 0 1\ne 2 1\ne 0 2\ne 3 2\n")
+	var sb strings.Builder
+	if err := run(&sb, "equijoin", false, -1, path); err == nil {
+		t.Fatal("equijoin solver must reject the spider")
+	}
+}
+
+func TestPickSolverNames(t *testing.T) {
+	for _, name := range []string{"auto", "exact", "exact-bnb", "approx-1.25", "greedy", "cycle-cover", "equijoin", "matching", "naive"} {
+		if _, err := pickSolver(name); err != nil {
+			t.Errorf("solver %q not found: %v", name, err)
+		}
+	}
+}
+
+func TestRunDecideMode(t *testing.T) {
+	// Spider G_3 has π = 7.
+	path := writeTemp(t, "bipartite 4 3\ne 0 0\ne 1 0\ne 0 1\ne 2 1\ne 0 2\ne 3 2\n")
+	var sb strings.Builder
+	if err := run(&sb, "auto", false, 6, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<= 6 is false") {
+		t.Fatalf("decide output: %s", sb.String())
+	}
+	sb.Reset()
+	if err := run(&sb, "auto", false, 7, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<= 7 is true") {
+		t.Fatalf("decide output: %s", sb.String())
+	}
+}

@@ -1,0 +1,3 @@
+module joinpebble
+
+go 1.22

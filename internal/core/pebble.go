@@ -1,0 +1,141 @@
+// Package core implements the paper's primary contribution: the two-pebble
+// game on join graphs (§2) that abstracts join computation independently
+// of any particular algorithm.
+//
+// An instance of a join problem is a graph G; each edge is a joining tuple
+// pair that the algorithm must "touch". Two pebbles live on vertices of G.
+// When the pebbles sit on the two endpoints of an edge, that edge is
+// deleted. A pebbling scheme is a sequence of configurations, consecutive
+// ones differing by moving exactly one pebble, that deletes every edge.
+// Its cost π̂ is the number of pebble moves: k+1 for k configurations
+// (Definition 2.1; the +1 pays for placing the second initial pebble).
+// The effective cost is π(P) = π̂(P) − β₀(G) (Definition 2.2), discounting
+// the per-component startup.
+package core
+
+import (
+	"fmt"
+
+	"joinpebble/internal/graph"
+)
+
+// Config is a pebbling configuration: the positions of the two pebbles.
+// Pebbles are interchangeable for edge deletion, but a single move changes
+// exactly one of the two positions.
+type Config struct {
+	A, B int
+}
+
+// Covers reports whether the configuration's pebbles sit on the endpoints
+// of edge e.
+func (c Config) Covers(e graph.Edge) bool {
+	return (c.A == e.U && c.B == e.V) || (c.A == e.V && c.B == e.U)
+}
+
+// MovesFrom returns the number of single-pebble moves needed to reach c
+// from prev: 0 if identical, 1 if they share a pebble position, 2
+// otherwise. This matches the key observation in Lemma 2.2's proof that
+// disjoint configurations are two moves apart.
+func (c Config) MovesFrom(prev Config) int {
+	switch {
+	case c == prev || (c.A == prev.B && c.B == prev.A):
+		return 0
+	case c.A == prev.A || c.B == prev.B || c.A == prev.B || c.B == prev.A:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (c Config) String() string { return fmt.Sprintf("(%d,%d)", c.A, c.B) }
+
+// Scheme is a pebbling scheme: the sequence of configurations
+// p_1, ..., p_k of Definition 2.1.
+type Scheme []Config
+
+// Cost returns π̂(P) = k+1 for a k-configuration scheme, or 0 for the
+// empty scheme (an edgeless graph needs no pebbles).
+func (s Scheme) Cost() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return len(s) + 1
+}
+
+// EffectiveCost returns π(P) = π̂(P) − β₀(G) per Definition 2.2.
+func (s Scheme) EffectiveCost(g *graph.Graph) int {
+	return s.Cost() - nonTrivialComponents(g)
+}
+
+// Result reports what a scheme did to a graph when simulated.
+type Result struct {
+	// Deleted[i] is true if edge i of the graph was deleted.
+	Deleted []bool
+	// DeletedCount is the number of deleted edges.
+	DeletedCount int
+	// EdgeOrder lists edge indices in deletion order.
+	EdgeOrder []int
+	// WastedConfigs counts configurations that deleted no edge.
+	WastedConfigs int
+}
+
+// Complete reports whether every edge was deleted.
+func (r *Result) Complete() bool { return r.DeletedCount == len(r.Deleted) }
+
+// Simulate runs the scheme against g and reports which edges it deletes.
+// It returns an error if the scheme is structurally invalid: a pebble
+// outside the vertex range, or a transition that moves both pebbles (the
+// game allows one pebble move at a time).
+func Simulate(g *graph.Graph, s Scheme) (*Result, error) {
+	res := &Result{Deleted: make([]bool, g.M())}
+	for i, c := range s {
+		if c.A < 0 || c.A >= g.N() || c.B < 0 || c.B >= g.N() {
+			return nil, fmt.Errorf("core: config %d %v out of vertex range [0,%d)", i, c, g.N())
+		}
+		if i > 0 {
+			if mv := c.MovesFrom(s[i-1]); mv != 1 {
+				return nil, fmt.Errorf("core: transition %d: %v -> %v moves %d pebbles, want 1", i, s[i-1], c, mv)
+			}
+		}
+		if idx, ok := g.EdgeIndex(c.A, c.B); ok && !res.Deleted[idx] {
+			res.Deleted[idx] = true
+			res.DeletedCount++
+			res.EdgeOrder = append(res.EdgeOrder, idx)
+		} else {
+			res.WastedConfigs++
+		}
+	}
+	return res, nil
+}
+
+// Verify checks that s is a valid, complete pebbling scheme for g and
+// returns its cost π̂. It is the referee used by tests and benchmarks: a
+// solver's claimed cost must match what simulation observes.
+func Verify(g *graph.Graph, s Scheme) (int, error) {
+	res, err := Simulate(g, s)
+	if err != nil {
+		return 0, err
+	}
+	if !res.Complete() {
+		return 0, fmt.Errorf("core: scheme deletes %d of %d edges", res.DeletedCount, g.M())
+	}
+	return s.Cost(), nil
+}
+
+// nonTrivialComponents counts components that contain at least one edge.
+// Definition 2.2's β₀ is stated for graphs with isolated vertices already
+// removed (§2); counting only edge-bearing components keeps π(G)
+// well-defined when callers pass graphs that still have singletons.
+func nonTrivialComponents(g *graph.Graph) int {
+	count := 0
+	for _, comp := range g.Components() {
+		if len(comp) > 1 {
+			count++
+		}
+	}
+	return count
+}
+
+// Betti0 returns β₀(G) as used by the effective cost: the number of
+// connected components containing at least one edge.
+func Betti0(g *graph.Graph) int { return nonTrivialComponents(g) }

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format used by the CLIs is one record per line:
+//
+//	bipartite <nLeft> <nRight>   or   graph <n>
+//	e <u> <v>                    (one line per edge, in order)
+//
+// Blank lines and lines starting with '#' are ignored. For bipartite
+// graphs u is a left index and v a right index.
+
+// WriteGraph serializes g in the text format.
+func WriteGraph(w io.Writer, g *Graph) error {
+	if _, err := fmt.Fprintf(w, "graph %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "e %d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBipartite serializes b in the text format.
+func WriteBipartite(w io.Writer, b *Bipartite) error {
+	if _, err := fmt.Fprintf(w, "bipartite %d %d\n", b.NLeft(), b.NRight()); err != nil {
+		return err
+	}
+	for i := 0; i < b.M(); i++ {
+		l, r := b.EdgeAt(i)
+		if _, err := fmt.Fprintf(w, "e %d %d\n", l, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read parses the text format and returns either a *Graph or a
+// *Bipartite depending on the header line.
+func Read(r io.Reader) (any, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	var b *Bipartite
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "graph":
+			if g != nil || b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			var n int
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'graph <n>'", line)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count: %w", line, err)
+			}
+			g = New(n)
+		case "bipartite":
+			if g != nil || b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			var nl, nr int
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'bipartite <nLeft> <nRight>'", line)
+			}
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &nl, &nr); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad side sizes: %w", line, err)
+			}
+			b = NewBipartite(nl, nr)
+		case "e":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v>'", line)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &u, &v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge: %w", line, err)
+			}
+			switch {
+			case g != nil:
+				if u < 0 || v < 0 || u >= g.N() || v >= g.N() || u == v {
+					return nil, fmt.Errorf("graph: line %d: edge %d-%d invalid for %d vertices", line, u, v, g.N())
+				}
+				g.AddEdge(u, v)
+			case b != nil:
+				if u < 0 || v < 0 || u >= b.NLeft() || v >= b.NRight() {
+					return nil, fmt.Errorf("graph: line %d: edge %d-%d outside %dx%d sides", line, u, v, b.NLeft(), b.NRight())
+				}
+				b.AddEdge(u, v)
+			default:
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case g != nil:
+		return g, nil
+	case b != nil:
+		return b, nil
+	default:
+		return nil, fmt.Errorf("graph: empty input")
+	}
+}
+
+// ReadBipartite parses the text format and requires a bipartite graph. A
+// general-graph input is accepted if it 2-colors cleanly.
+func ReadBipartite(r io.Reader) (*Bipartite, error) {
+	v, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	switch t := v.(type) {
+	case *Bipartite:
+		return t, nil
+	case *Graph:
+		b, _, _, err := FromGraph(t)
+		return b, err
+	}
+	return nil, fmt.Errorf("graph: unexpected input type")
+}

@@ -1,0 +1,394 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEdgeNormalize(t *testing.T) {
+	e := Edge{U: 5, V: 2}.Normalize()
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("Normalize: got %v", e)
+	}
+	if f := (Edge{U: 1, V: 3}).Normalize(); f.U != 1 || f.V != 3 {
+		t.Fatalf("Normalize should keep ordered edge: got %v", f)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 1, V: 2}
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Fatal("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint should panic")
+		}
+	}()
+	e.Other(3)
+}
+
+func TestEdgeSharesEndpoint(t *testing.T) {
+	a := Edge{U: 0, V: 1}
+	cases := []struct {
+		b    Edge
+		want bool
+	}{
+		{Edge{U: 1, V: 2}, true},
+		{Edge{U: 0, V: 2}, true},
+		{Edge{U: 2, V: 3}, false},
+		{Edge{U: 0, V: 1}, true},
+	}
+	for _, c := range cases {
+		if got := a.SharesEndpoint(c.b); got != c.want {
+			t.Errorf("SharesEndpoint(%v,%v)=%v want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddEdgeDedup(t *testing.T) {
+	g := New(3)
+	i := g.AddEdge(0, 1)
+	j := g.AddEdge(1, 0)
+	if i != j {
+		t.Fatalf("duplicate edge got distinct indices %d, %d", i, j)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M=%d want 1", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatal("duplicate insert changed degrees")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop should panic")
+		}
+	}()
+	g.AddEdge(1, 1)
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(1)
+	v := g.AddVertex()
+	if v != 1 || g.N() != 2 {
+		t.Fatalf("AddVertex: v=%d n=%d", v, g.N())
+	}
+	g.AddEdge(0, v)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("edge to new vertex missing")
+	}
+}
+
+func TestIncidentEdges(t *testing.T) {
+	g := New(4)
+	e01 := g.AddEdge(0, 1)
+	e02 := g.AddEdge(0, 2)
+	e23 := g.AddEdge(2, 3)
+	inc := g.IncidentEdges(0)
+	if len(inc) != 2 || inc[0] != e01 || inc[1] != e02 {
+		t.Fatalf("IncidentEdges(0)=%v", inc)
+	}
+	if inc := g.IncidentEdges(3); len(inc) != 1 || inc[0] != e23 {
+		t.Fatalf("IncidentEdges(3)=%v", inc)
+	}
+}
+
+func TestWithoutIsolated(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 4)
+	h, remap := g.WithoutIsolated()
+	if h.N() != 3 || h.M() != 2 {
+		t.Fatalf("got n=%d m=%d", h.N(), h.M())
+	}
+	if remap[1] != -1 || remap[3] != -1 {
+		t.Fatal("isolated vertices should map to -1")
+	}
+	if remap[0] != 0 || remap[2] != 1 || remap[4] != 2 {
+		t.Fatalf("remap=%v", remap)
+	}
+	if !h.HasEdge(0, 1) || !h.HasEdge(1, 2) {
+		t.Fatal("edges not preserved under renumbering")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 0)
+	h, remap := g.InducedSubgraph([]int{1, 2, 3})
+	if h.N() != 3 || h.M() != 2 {
+		t.Fatalf("induced: n=%d m=%d", h.N(), h.M())
+	}
+	if !h.HasEdge(0, 1) || !h.HasEdge(1, 2) || h.HasEdge(0, 2) {
+		t.Fatal("induced edges wrong")
+	}
+	if remap[0] != -1 || remap[1] != 0 {
+		t.Fatalf("remap=%v", remap)
+	}
+}
+
+func TestEqualIgnoresOrder(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	h := New(3)
+	h.AddEdge(2, 1)
+	h.AddEdge(1, 0)
+	if !g.Equal(h) {
+		t.Fatal("graphs with same edge set should be Equal")
+	}
+	h.AddEdge(0, 2)
+	if g.Equal(h) {
+		t.Fatal("different edge sets should not be Equal")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components=%v", comps)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v want %v", i, comps[i], want[i])
+			}
+		}
+	}
+	if g.ComponentCount() != 3 {
+		t.Fatal("ComponentCount mismatch")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if g.Connected() {
+		t.Fatal("isolated vertex 2 should break connectivity")
+	}
+	g.AddEdge(1, 2)
+	if !g.Connected() {
+		t.Fatal("path should be connected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("empty and singleton graphs are connected by convention")
+	}
+}
+
+func TestDFSTreeBasics(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 4)
+	tr := g.DFSFrom(0)
+	if tr.Parent[0] != -1 {
+		t.Fatal("root parent should be -1")
+	}
+	for v := 1; v < 5; v++ {
+		if tr.Parent[v] < 0 {
+			t.Fatalf("vertex %d unreached: parent=%d", v, tr.Parent[v])
+		}
+	}
+	if len(tr.Order) != 5 || tr.Order[0] != 0 {
+		t.Fatalf("preorder=%v", tr.Order)
+	}
+	sizes := tr.SubtreeSize()
+	if sizes[0] != 5 {
+		t.Fatalf("root subtree size=%d", sizes[0])
+	}
+}
+
+func TestDFSTreeNoCrossEdges(t *testing.T) {
+	// In a DFS tree of an undirected graph, every non-tree edge connects
+	// an ancestor/descendant pair — so children of a common parent are
+	// never adjacent. Theorem 3.1 relies on this; verify on random graphs.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		g := RandomConnectedGraph(rng, 12, 20, 0)
+		tr := g.DFSFrom(0)
+		for v := 0; v < g.N(); v++ {
+			ch := tr.Children[v]
+			for i := 0; i < len(ch); i++ {
+				for j := i + 1; j < len(ch); j++ {
+					if g.HasEdge(ch[i], ch[j]) {
+						t.Fatalf("trial %d: children %d,%d of %d adjacent", trial, ch[i], ch[j], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDFSSubtreeVertices(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(0, 5)
+	tr := g.DFSFrom(0)
+	sub := tr.SubtreeVertices(1)
+	sizes := tr.SubtreeSize()
+	if len(sub) != sizes[1] {
+		t.Fatalf("subtree vertices %v vs size %d", sub, sizes[1])
+	}
+	if sub[0] != 1 {
+		t.Fatal("subtree should start at its root")
+	}
+}
+
+func TestDFSDeepPathNoStackOverflow(t *testing.T) {
+	const n = 200000
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	tr := g.DFSFrom(0)
+	if len(tr.Order) != n {
+		t.Fatalf("visited %d of %d", len(tr.Order), n)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	d := g.BFSDistances(0)
+	want := []int{0, 1, 2, 3, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist=%v want %v", d, want)
+		}
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	h := New(3)
+	h.AddEdge(0, 2)
+	u := DisjointUnion(g, h)
+	if u.N() != 5 || u.M() != 2 {
+		t.Fatalf("union n=%d m=%d", u.N(), u.M())
+	}
+	if !u.HasEdge(0, 1) || !u.HasEdge(2, 4) {
+		t.Fatal("union edges misplaced")
+	}
+	if u.ComponentCount() != 3 {
+		t.Fatalf("union components=%d", u.ComponentCount())
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	ds := g.DegreeSequence()
+	want := []int{3, 1, 1, 1}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("degree sequence %v want %v", ds, want)
+		}
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatal("MaxDegree")
+	}
+}
+
+func TestEdgeIndexLookup(t *testing.T) {
+	g := New(3)
+	want := g.AddEdge(0, 1)
+	if idx, ok := g.EdgeIndex(1, 0); !ok || idx != want {
+		t.Fatalf("EdgeIndex(1,0)=%d,%v", idx, ok)
+	}
+	if _, ok := g.EdgeIndex(0, 2); ok {
+		t.Fatal("non-edge should miss")
+	}
+	if _, ok := g.EdgeIndex(-1, 9); ok {
+		t.Fatal("out-of-range should miss, not panic")
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := New(4)
+	g.AddEdge(1, 2)
+	iso := g.IsolatedVertices()
+	if len(iso) != 2 || iso[0] != 0 || iso[1] != 3 {
+		t.Fatalf("isolated=%v", iso)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	if got := g.String(); got != "graph{n=2 m=1 [0-1]}" {
+		t.Fatalf("graph string %q", got)
+	}
+	b := NewBipartite(1, 1)
+	b.AddEdge(0, 0)
+	if got := b.String(); got != "bipartite{1x1 m=1 [0-0]}" {
+		t.Fatalf("bipartite string %q", got)
+	}
+}
+
+func TestVertexRangePanics(t *testing.T) {
+	g := New(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(0, 5) },
+		func() { g.Neighbors(-1) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	b := NewBipartite(1, 1)
+	for _, fn := range []func(){
+		func() { b.AddEdge(1, 0) },
+		func() { b.AddEdge(0, 1) },
+		func() { NewBipartite(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected bipartite panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	h := g.Clone()
+	h.AddEdge(1, 2)
+	if g.M() != 1 || h.M() != 2 {
+		t.Fatal("clone shares storage with original")
+	}
+}

@@ -1,0 +1,215 @@
+package graph
+
+// LineGraph returns L(G): one vertex per edge of g (vertex i of L(G)
+// corresponds to edge index i of g), with two vertices adjacent iff the
+// underlying edges share an endpoint (§2.2). Pebbling schemes for g
+// correspond to walks over L(G)'s vertices; perfect schemes are
+// Hamiltonian paths (Proposition 2.1).
+func LineGraph(g *Graph) *Graph {
+	m := g.M()
+	lg := New(m)
+	// For each vertex, all incident edges are pairwise adjacent in L(G);
+	// iterate per vertex to get O(sum deg^2) without an edge-pair scan.
+	for v := 0; v < g.N(); v++ {
+		inc := g.IncidentEdges(v)
+		for i := 0; i < len(inc); i++ {
+			for j := i + 1; j < len(inc); j++ {
+				lg.AddEdge(inc[i], inc[j])
+			}
+		}
+	}
+	return lg
+}
+
+// IncidenceGraph returns the bipartite incidence graph B = (X, Y, E') of
+// g used in Theorem 4.4's L-reduction: X = V(g) on the left, Y = E(g) on
+// the right, with x joined to e iff x is an endpoint of e.
+func IncidenceGraph(g *Graph) *Bipartite {
+	b := NewBipartite(g.N(), g.M())
+	for i, e := range g.Edges() {
+		b.AddEdge(e.U, i)
+		b.AddEdge(e.V, i)
+	}
+	return b
+}
+
+// FindClaw searches g for an induced K_{1,3} (a claw): a center vertex
+// with three pairwise non-adjacent neighbors. It returns the center and
+// the three leaves, or ok=false if g is claw-free. Line graphs are always
+// claw-free (Harary), which Theorem 3.1's DFS construction depends on.
+func FindClaw(g *Graph) (center int, leaves [3]int, ok bool) {
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		if len(nb) < 3 {
+			continue
+		}
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				if g.HasEdge(nb[i], nb[j]) {
+					continue
+				}
+				for k := j + 1; k < len(nb); k++ {
+					if !g.HasEdge(nb[i], nb[k]) && !g.HasEdge(nb[j], nb[k]) {
+						return v, [3]int{nb[i], nb[j], nb[k]}, true
+					}
+				}
+			}
+		}
+	}
+	return 0, [3]int{}, false
+}
+
+// ClawFree reports whether g contains no induced K_{1,3}.
+func ClawFree(g *Graph) bool {
+	_, _, ok := FindClaw(g)
+	return !ok
+}
+
+// HamiltonianPath searches g for a Hamiltonian path by depth-first
+// backtracking with degree-based pruning and returns one if it exists.
+// Exponential in the worst case; intended for the small gadget and
+// line-graph instances the paper's exact arguments concern (Prop 2.1,
+// Fig 2 analysis). Returns nil, false when no path exists.
+func HamiltonianPath(g *Graph) ([]int, bool) {
+	n := g.N()
+	if n == 0 {
+		return nil, true
+	}
+	if n == 1 {
+		return []int{0}, true
+	}
+	if !g.Connected() {
+		return nil, false
+	}
+	// Degree-1 vertices must be path endpoints, so more than two of them
+	// rules a Hamiltonian path out immediately.
+	var deg1 []int
+	for v := 0; v < n; v++ {
+		if g.Degree(v) == 1 {
+			deg1 = append(deg1, v)
+		}
+	}
+	if len(deg1) > 2 {
+		return nil, false
+	}
+
+	used := make([]bool, n)
+	path := make([]int, 0, n)
+	var try func(v int) bool
+	try = func(v int) bool {
+		used[v] = true
+		path = append(path, v)
+		if len(path) == n {
+			return true
+		}
+		for _, w := range g.Neighbors(v) {
+			if !used[w] {
+				if try(w) {
+					return true
+				}
+			}
+		}
+		used[v] = false
+		path = path[:len(path)-1]
+		return false
+	}
+	starts := startCandidates(g, deg1)
+	for _, s := range starts {
+		if try(s) {
+			return path, true
+		}
+	}
+	return nil, false
+}
+
+// HamiltonianPathBetween searches for a Hamiltonian path with the given
+// endpoints. Used to validate the diamond gadget of Fig 2, where a
+// Hamiltonian path exists between any two corner vertices.
+func HamiltonianPathBetween(g *Graph, from, to int) ([]int, bool) {
+	n := g.N()
+	if from == to {
+		if n == 1 && from == 0 {
+			return []int{0}, true
+		}
+		return nil, false
+	}
+	used := make([]bool, n)
+	path := make([]int, 0, n)
+	var try func(v int) bool
+	try = func(v int) bool {
+		used[v] = true
+		path = append(path, v)
+		if len(path) == n {
+			if v == to {
+				return true
+			}
+			used[v] = false
+			path = path[:len(path)-1]
+			return false
+		}
+		if v == to { // target reached too early
+			used[v] = false
+			path = path[:len(path)-1]
+			return false
+		}
+		for _, w := range g.Neighbors(v) {
+			if !used[w] {
+				if try(w) {
+					return true
+				}
+			}
+		}
+		used[v] = false
+		path = path[:len(path)-1]
+		return false
+	}
+	if try(from) {
+		return path, true
+	}
+	return nil, false
+}
+
+// AllHamiltonianPaths enumerates every Hamiltonian path of g (each
+// returned once per direction). Exponential; only for gadget-sized graphs.
+func AllHamiltonianPaths(g *Graph) [][]int {
+	n := g.N()
+	var out [][]int
+	if n == 0 {
+		return out
+	}
+	used := make([]bool, n)
+	path := make([]int, 0, n)
+	var try func(v int)
+	try = func(v int) {
+		used[v] = true
+		path = append(path, v)
+		if len(path) == n {
+			cp := make([]int, n)
+			copy(cp, path)
+			out = append(out, cp)
+		} else {
+			for _, w := range g.Neighbors(v) {
+				if !used[w] {
+					try(w)
+				}
+			}
+		}
+		used[v] = false
+		path = path[:len(path)-1]
+	}
+	for s := 0; s < n; s++ {
+		try(s)
+	}
+	return out
+}
+
+func startCandidates(g *Graph, deg1 []int) []int {
+	if len(deg1) > 0 {
+		return deg1[:1] // a degree-1 vertex must be an endpoint; start there
+	}
+	starts := make([]int, g.N())
+	for i := range starts {
+		starts[i] = i
+	}
+	return starts
+}

@@ -1,0 +1,136 @@
+package graph
+
+import "math/rand"
+
+// RandomBipartite returns an Erdős–Rényi bipartite graph on nLeft x nRight
+// vertices where each of the nLeft*nRight candidate edges is present with
+// probability p. Deterministic for a given rng state.
+func RandomBipartite(rng *rand.Rand, nLeft, nRight int, p float64) *Bipartite {
+	b := NewBipartite(nLeft, nRight)
+	for l := 0; l < nLeft; l++ {
+		for r := 0; r < nRight; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(l, r)
+			}
+		}
+	}
+	return b
+}
+
+// RandomConnectedBipartite returns a connected bipartite graph on
+// nLeft x nRight vertices with exactly m edges. It first threads a random
+// spanning tree through all vertices (alternating sides), then adds random
+// extra edges. Requires m >= nLeft+nRight-1 and m <= nLeft*nRight.
+func RandomConnectedBipartite(rng *rand.Rand, nLeft, nRight, m int) *Bipartite {
+	n := nLeft + nRight
+	if m < n-1 {
+		panic("graph: too few edges to connect")
+	}
+	if m > nLeft*nRight {
+		panic("graph: too many edges for bipartite sides")
+	}
+	b := NewBipartite(nLeft, nRight)
+	// Random spanning tree: attach each vertex (in shuffled order, after a
+	// seed pair) to a uniformly random already-attached vertex of the
+	// opposite side.
+	lefts := rng.Perm(nLeft)
+	rights := rng.Perm(nRight)
+	attachedL := []int{lefts[0]}
+	attachedR := []int{}
+	li, ri := 1, 0
+	// First edge must bring in a right vertex.
+	for len(attachedL) < nLeft || len(attachedR) < nRight {
+		takeLeft := li < nLeft && (ri >= nRight || rng.Intn(2) == 0)
+		if len(attachedR) == 0 {
+			takeLeft = false
+		}
+		if takeLeft {
+			l := lefts[li]
+			li++
+			b.AddEdge(l, attachedR[rng.Intn(len(attachedR))])
+			attachedL = append(attachedL, l)
+		} else {
+			r := rights[ri]
+			ri++
+			b.AddEdge(attachedL[rng.Intn(len(attachedL))], r)
+			attachedR = append(attachedR, r)
+		}
+	}
+	// Top up with random extra edges until m.
+	for b.M() < m {
+		b.AddEdge(rng.Intn(nLeft), rng.Intn(nRight))
+	}
+	return b
+}
+
+// RandomTree returns a uniform-ish random tree on n vertices built by
+// attaching vertex i to a random earlier vertex.
+func RandomTree(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	return g
+}
+
+// RandomConnectedGraph returns a connected graph on n vertices with m
+// edges (random tree plus random extras) and maximum degree at most
+// maxDeg (0 means unbounded). Used to generate TSP-k(1,2) instances for
+// the Section 4 reductions. It panics if the constraints are infeasible
+// after a bounded number of attempts.
+func RandomConnectedGraph(rng *rand.Rand, n, m, maxDeg int) *Graph {
+	if m < n-1 {
+		panic("graph: too few edges to connect")
+	}
+	if m > n*(n-1)/2 {
+		panic("graph: more edges than vertex pairs")
+	}
+	if maxDeg > 0 && 2*m > n*maxDeg {
+		panic("graph: edge count incompatible with degree bound")
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		g := tryRandomConnected(rng, n, m, maxDeg)
+		if g != nil {
+			return g
+		}
+	}
+	panic("graph: could not satisfy degree bound; relax parameters")
+}
+
+func tryRandomConnected(rng *rand.Rand, n, m, maxDeg int) *Graph {
+	g := New(n)
+	ok := func(v int) bool { return maxDeg == 0 || g.Degree(v) < maxDeg }
+	order := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		v := order[i]
+		// Attach to a random earlier vertex with spare degree.
+		var cands []int
+		for j := 0; j < i; j++ {
+			if ok(order[j]) {
+				cands = append(cands, order[j])
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		g.AddEdge(v, cands[rng.Intn(len(cands))])
+	}
+	for tries := 0; g.M() < m && tries < 100*m+100; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) && ok(u) && ok(v) {
+			g.AddEdge(u, v)
+		}
+	}
+	// Random top-up can stall on dense targets; finish systematically.
+	for u := 0; u < n && g.M() < m; u++ {
+		for v := u + 1; v < n && g.M() < m; v++ {
+			if !g.HasEdge(u, v) && ok(u) && ok(v) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	if g.M() != m {
+		return nil
+	}
+	return g
+}

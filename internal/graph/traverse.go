@@ -1,0 +1,161 @@
+package graph
+
+import "sort"
+
+// Components returns the connected components of g as slices of vertex
+// ids, each sorted ascending, ordered by their smallest vertex. Isolated
+// vertices form singleton components.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := g.bfsFrom(s, seen)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// ComponentCount returns β₀(G), the number of connected components — the
+// 0th Betti number used in Definition 2.2's effective cost.
+func (g *Graph) ComponentCount() int {
+	return len(g.Components())
+}
+
+// Connected reports whether g is connected. The empty graph and the
+// single-vertex graph count as connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	comp := g.bfsFrom(0, seen)
+	return len(comp) == g.n
+}
+
+func (g *Graph) bfsFrom(s int, seen []bool) []int {
+	seen[s] = true
+	queue := []int{s}
+	comp := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+				comp = append(comp, w)
+			}
+		}
+	}
+	sort.Ints(comp)
+	return comp
+}
+
+// DFSTree is a rooted spanning tree of one connected component, produced
+// by DFSFrom. Parent[root] == -1; Parent[v] == -2 for vertices outside the
+// component. Children lists preserve DFS visit order. Order lists the
+// vertices in DFS preorder.
+type DFSTree struct {
+	Root     int
+	Parent   []int
+	Children [][]int
+	Order    []int
+}
+
+// DFSFrom runs an iterative depth-first search from root and returns the
+// DFS tree of root's component. In a DFS tree of an undirected graph there
+// are no cross edges, so children of a common parent are pairwise
+// non-adjacent — the property Theorem 3.1's construction relies on.
+func (g *Graph) DFSFrom(root int) *DFSTree {
+	g.checkVertex(root)
+	t := &DFSTree{
+		Root:     root,
+		Parent:   make([]int, g.n),
+		Children: make([][]int, g.n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -2
+	}
+	t.Parent[root] = -1
+
+	// Iterative DFS with an explicit stack of (vertex, next-neighbor
+	// cursor) to avoid recursion depth limits on long paths.
+	type frame struct {
+		v, next int
+	}
+	stack := []frame{{v: root}}
+	t.Order = append(t.Order, root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		advanced := false
+		for f.next < len(g.adj[f.v]) {
+			w := g.adj[f.v][f.next]
+			f.next++
+			if t.Parent[w] == -2 {
+				t.Parent[w] = f.v
+				t.Children[f.v] = append(t.Children[f.v], w)
+				t.Order = append(t.Order, w)
+				stack = append(stack, frame{v: w})
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return t
+}
+
+// SubtreeSize returns, for every vertex in the tree's component, the size
+// of the subtree rooted at it (counting itself); 0 for vertices outside
+// the component.
+func (t *DFSTree) SubtreeSize() []int {
+	size := make([]int, len(t.Parent))
+	// Order is a preorder, so children appear after parents; accumulate in
+	// reverse.
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		size[v]++
+		if p := t.Parent[v]; p >= 0 {
+			size[p] += size[v]
+		}
+	}
+	return size
+}
+
+// SubtreeVertices returns the vertices of the subtree rooted at r in
+// preorder.
+func (t *DFSTree) SubtreeVertices(r int) []int {
+	out := []int{r}
+	for i := 0; i < len(out); i++ {
+		out = append(out, t.Children[out[i]]...)
+	}
+	return out
+}
+
+// BFSDistances returns the BFS distance from s to every vertex (-1 where
+// unreachable).
+func (g *Graph) BFSDistances(s int) []int {
+	g.checkVertex(s)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

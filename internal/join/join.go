@@ -1,0 +1,150 @@
+// Package join connects the paper's abstract model (§2) to executable
+// join processing. It builds join graphs — one left vertex per R-tuple,
+// one right vertex per S-tuple, an edge per joining pair — and implements
+// real join algorithms for the three predicate classes the paper studies
+// (equality, set containment, spatial overlap). Every algorithm emits its
+// result pairs in a defined order, and the pebbling instrumentation
+// (Cost, Audit) measures that emission order in the pebble game, which is
+// exactly how §2 relates algorithms to the model.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/graph"
+	"joinpebble/internal/sets"
+	"joinpebble/internal/spatial"
+)
+
+// Pair is a join result: indices into the two input relations.
+type Pair struct {
+	L, R int
+}
+
+// Graph builds the join graph of two tuple slices under pred, evaluating
+// the predicate on the full cross product — the reference semantics of
+// §2. Quadratic by design; algorithms are checked against it.
+func Graph[L, R any](ls []L, rs []R, pred func(L, R) bool) *graph.Bipartite {
+	b := graph.NewBipartite(len(ls), len(rs))
+	for i, l := range ls {
+		for j, r := range rs {
+			if pred(l, r) {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b
+}
+
+// GraphFromPairs builds a join graph directly from result pairs.
+func GraphFromPairs(nLeft, nRight int, pairs []Pair) *graph.Bipartite {
+	b := graph.NewBipartite(nLeft, nRight)
+	for _, p := range pairs {
+		b.AddEdge(p.L, p.R)
+	}
+	return b
+}
+
+// NestedLoop is the universal baseline: evaluate pred over the cross
+// product, emitting pairs in row-major order.
+func NestedLoop[L, R any](ls []L, rs []R, pred func(L, R) bool) []Pair {
+	var out []Pair
+	for i, l := range ls {
+		for j, r := range rs {
+			if pred(l, r) {
+				out = append(out, Pair{L: i, R: j})
+			}
+		}
+	}
+	return out
+}
+
+// Audit holds the pebbling-model accounting of one algorithm run: how the
+// emission order scores in the pebble game of §2.
+type Audit struct {
+	// Pairs is the number of results (m, the paper's input size).
+	Pairs int
+	// Cost is π̂ of the emission order: placements + moves + jumps.
+	Cost int
+	// EffectiveCost is Cost − β₀ of the join graph (Definition 2.2).
+	EffectiveCost int
+	// Jumps counts emission steps between pairs sharing no tuple.
+	Jumps int
+	// Perfect reports whether the emission order realizes π = m
+	// (Definition 2.3).
+	Perfect bool
+}
+
+// AuditPairs scores an emission order against its join graph. The pairs
+// must be exactly the edge set of b (any order, no duplicates).
+func AuditPairs(b *graph.Bipartite, pairs []Pair) (*Audit, error) {
+	g := b.Graph()
+	if len(pairs) != g.M() {
+		return nil, fmt.Errorf("join: %d pairs, join graph has %d edges", len(pairs), g.M())
+	}
+	order := make([]int, len(pairs))
+	seen := make([]bool, g.M())
+	for k, p := range pairs {
+		idx, ok := g.EdgeIndex(b.LeftVertex(p.L), b.RightVertex(p.R))
+		if !ok {
+			return nil, fmt.Errorf("join: pair %v is not in the join graph", p)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("join: pair %v emitted twice", p)
+		}
+		seen[idx] = true
+		order[k] = idx
+	}
+	cost := core.EdgeOrderCost(g, order)
+	jumps := 0
+	for k := 1; k < len(order); k++ {
+		if !g.EdgeAt(order[k-1]).SharesEndpoint(g.EdgeAt(order[k])) {
+			jumps++
+		}
+	}
+	eff := cost - core.Betti0(g)
+	return &Audit{
+		Pairs:         len(pairs),
+		Cost:          cost,
+		EffectiveCost: eff,
+		Jumps:         jumps,
+		Perfect:       eff == g.M(),
+	}, nil
+}
+
+// equalPairs reports whether two pair sets are equal regardless of order.
+func equalPairs(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]Pair(nil), a...)
+	bs := append([]Pair(nil), b...)
+	less := func(p, q Pair) bool { return p.L < q.L || (p.L == q.L && p.R < q.R) }
+	sort.Slice(as, func(i, j int) bool { return less(as[i], as[j]) })
+	sort.Slice(bs, func(i, j int) bool { return less(bs[i], bs[j]) })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Predicates for the three join classes of §3.
+
+// EqInt is the equijoin predicate over integers.
+func EqInt(l, r int64) bool { return l == r }
+
+// EqString is the equijoin predicate over strings.
+func EqString(l, r string) bool { return l == r }
+
+// Contains is the set-containment predicate r.A ⊆ s.B of §3.2.
+func Contains(l, r sets.Set) bool { return l.SubsetOf(r) }
+
+// Overlaps is the spatial-overlap predicate of §3.3 on rectangles.
+func Overlaps(l, r spatial.Rect) bool { return l.Overlaps(r) }
+
+// OverlapsPoly is the spatial-overlap predicate on convex polygons.
+func OverlapsPoly(l, r spatial.Polygon) bool { return l.Overlaps(r) }

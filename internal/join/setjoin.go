@@ -1,0 +1,83 @@
+package join
+
+import "joinpebble/internal/sets"
+
+// SignatureNestedLoop is the signature-filtered nested-loop containment
+// join of Helmer & Moerkotte ([5] in the paper): precompute 64-bit
+// superimposed signatures, compare sets only when the signature test
+// passes. Same emission order as NestedLoop, fewer set comparisons.
+func SignatureNestedLoop(ls, rs []sets.Set) []Pair {
+	lsig := make([]sets.Signature, len(ls))
+	for i, s := range ls {
+		lsig[i] = sets.SignatureOf(s)
+	}
+	rsig := make([]sets.Signature, len(rs))
+	for j, s := range rs {
+		rsig[j] = sets.SignatureOf(s)
+	}
+	var out []Pair
+	for i, l := range ls {
+		for j, r := range rs {
+			if lsig[i].MaySubset(rsig[j]) && l.SubsetOf(r) {
+				out = append(out, Pair{L: i, R: j})
+			}
+		}
+	}
+	return out
+}
+
+// InvertedIndexJoin builds an inverted index on the right (superset) side
+// and probes it with each left set, intersecting posting lists. Empty
+// left sets match every right tuple. Emission is left-major with right
+// matches in ascending index order.
+func InvertedIndexJoin(ls, rs []sets.Set) []Pair {
+	idx := sets.BuildInvertedIndex(rs)
+	var out []Pair
+	for i, l := range ls {
+		for _, j := range idx.Supersets(l) {
+			out = append(out, Pair{L: i, R: j})
+		}
+	}
+	return out
+}
+
+// PartitionedSetJoin is a main-memory analogue of the partitioned set
+// joins of Ramasamy et al. ([14] in the paper): right sets are hashed
+// into partitions by every element they contain, left sets probe only
+// the partition of their smallest element — any superset of l contains
+// that element, so it is replicated into the probed partition. Left sets
+// that are empty match everything. Each candidate is verified with the
+// real subset test; probing a single partition per left set keeps the
+// output duplicate-free even though right sets are replicated.
+func PartitionedSetJoin(ls, rs []sets.Set, partitions int) []Pair {
+	if partitions < 1 {
+		partitions = 1
+	}
+	part := make([][]int, partitions)
+	for j, r := range rs {
+		seen := make(map[int]bool)
+		for _, e := range r.Elems() {
+			p := int(e) % partitions
+			if !seen[p] {
+				part[p] = append(part[p], j)
+				seen[p] = true
+			}
+		}
+	}
+	var out []Pair
+	for i, l := range ls {
+		if l.Empty() {
+			for j := range rs {
+				out = append(out, Pair{L: i, R: j})
+			}
+			continue
+		}
+		p := int(l.Elems()[0]) % partitions
+		for _, j := range part[p] {
+			if l.SubsetOf(rs[j]) {
+				out = append(out, Pair{L: i, R: j})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package join
+
+import "joinpebble/internal/spatial"
+
+// RTreeJoin is the index-nested-loop spatial join: build an R-tree on the
+// right rectangles, probe it with each left rectangle. Emission is
+// left-major with right matches in ascending index order.
+func RTreeJoin(ls, rs []spatial.Rect, fanout int) []Pair {
+	tree := spatial.NewRTree(fanout)
+	for j, r := range rs {
+		tree.Insert(r, j)
+	}
+	var out []Pair
+	for i, l := range ls {
+		for _, j := range tree.Search(l) {
+			out = append(out, Pair{L: i, R: j})
+		}
+	}
+	return out
+}
+
+// SweepJoin is the plane-sweep spatial join: both inputs are sorted into
+// one x-ordered event stream and pairs are emitted as the sweep
+// discovers them — the emission order studied in the E15 experiment.
+func SweepJoin(ls, rs []spatial.Rect) []Pair {
+	raw := spatial.IntersectingPairs(ls, rs)
+	out := make([]Pair, len(raw))
+	for k, p := range raw {
+		out[k] = Pair{L: p[0], R: p[1]}
+	}
+	return out
+}
+
+// PolygonNestedLoop joins convex polygons by the SAT overlap test,
+// with an optional bounding-box prefilter (the standard filter/refine
+// split in spatial query processing).
+func PolygonNestedLoop(ls, rs []spatial.Polygon, prefilter bool) []Pair {
+	var lb, rb []spatial.Rect
+	if prefilter {
+		lb = make([]spatial.Rect, len(ls))
+		for i, p := range ls {
+			lb[i] = p.Bounds()
+		}
+		rb = make([]spatial.Rect, len(rs))
+		for j, p := range rs {
+			rb[j] = p.Bounds()
+		}
+	}
+	var out []Pair
+	for i, l := range ls {
+		for j, r := range rs {
+			if prefilter && !lb[i].Overlaps(rb[j]) {
+				continue
+			}
+			if l.Overlaps(r) {
+				out = append(out, Pair{L: i, R: j})
+			}
+		}
+	}
+	return out
+}

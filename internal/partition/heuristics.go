@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"sort"
+
+	"joinpebble/internal/graph"
+	"joinpebble/internal/sets"
+	"joinpebble/internal/spatial"
+)
+
+// HashEquijoin partitions both relations by hashing the join value into
+// k buckets (L = K). For an equijoin this is the classic partitioned hash
+// join and is work-optimal whenever every bucket pair is either inactive
+// or matches 1:1 — which hashing on the value guarantees: a value's
+// tuples land in exactly one (i, i) pair, so W = (non-isolated tuples)
+// plus the slack of sharing buckets between values. This supports the
+// paper's closing conjecture that the equijoin mapping problem is easy
+// to approximate.
+func HashEquijoin(ls, rs []int64, k int) *Assignment {
+	a := &Assignment{R: make([]int, len(ls)), S: make([]int, len(rs)), K: k, L: k}
+	for i, v := range ls {
+		a.R[i] = int(hash64(uint64(v)) % uint64(k))
+	}
+	for j, v := range rs {
+		a.S[j] = int(hash64(uint64(v)) % uint64(k))
+	}
+	return a
+}
+
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// GridSpatial partitions rectangles by the grid cell of their center
+// over a cells x cells grid covering the data's bounding box (K = L =
+// cells²). Rectangles spanning cell borders create cross-partition
+// active pairs — the replication cost PBSM-style algorithms ([13]) pay.
+func GridSpatial(ls, rs []spatial.Rect, cells int) *Assignment {
+	all := append(append([]spatial.Rect(nil), ls...), rs...)
+	if len(all) == 0 {
+		return &Assignment{K: cells * cells, L: cells * cells}
+	}
+	bounds := all[0]
+	for _, r := range all[1:] {
+		bounds = bounds.Union(r)
+	}
+	cell := func(r spatial.Rect) int {
+		cx := gridIndex((r.MinX+r.MaxX)/2, bounds.MinX, bounds.MaxX, cells)
+		cy := gridIndex((r.MinY+r.MaxY)/2, bounds.MinY, bounds.MaxY, cells)
+		return cy*cells + cx
+	}
+	a := &Assignment{R: make([]int, len(ls)), S: make([]int, len(rs)), K: cells * cells, L: cells * cells}
+	for i, r := range ls {
+		a.R[i] = cell(r)
+	}
+	for j, r := range rs {
+		a.S[j] = cell(r)
+	}
+	return a
+}
+
+func gridIndex(x, lo, hi float64, cells int) int {
+	if hi <= lo {
+		return 0
+	}
+	i := int(float64(cells) * (x - lo) / (hi - lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= cells {
+		i = cells - 1
+	}
+	return i
+}
+
+// MinElementSet partitions set relations by the smallest element modulo
+// k — the PSJ-style scheme of [14]: a probe set and any of its supersets
+// share the probe's smallest element, but a superset's OWN smallest
+// element can differ, so cross-partition pairs remain; this measures
+// that replication pressure.
+func MinElementSet(ls, rs []sets.Set, k int) *Assignment {
+	bucket := func(s sets.Set) int {
+		if s.Empty() {
+			return 0
+		}
+		return int(s.Elems()[0]) % k
+	}
+	a := &Assignment{R: make([]int, len(ls)), S: make([]int, len(rs)), K: k, L: k}
+	for i, s := range ls {
+		a.R[i] = bucket(s)
+	}
+	for j, s := range rs {
+		a.S[j] = bucket(s)
+	}
+	return a
+}
+
+// GreedyGraph partitions by the join graph itself: connected components
+// are sorted by size and packed round-robin into the K (and L) buckets,
+// so no component spans partitions. On equijoin graphs this is
+// work-optimal for the same reason hash partitioning is; on general
+// graphs it is the best structure-aware baseline that needs no domain
+// knowledge, at the cost of computing the join graph first.
+func GreedyGraph(b *graph.Bipartite, k, l int) *Assignment {
+	a := &Assignment{R: make([]int, b.NLeft()), S: make([]int, b.NRight()), K: k, L: l}
+	comps := b.Graph().Components()
+	// Largest components first, each assigned to the currently
+	// least-loaded bucket pair.
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	loadR := make([]int, k)
+	loadS := make([]int, l)
+	for _, comp := range comps {
+		br := argmin(loadR)
+		bs := argmin(loadS)
+		for _, v := range comp {
+			if b.Side(v) {
+				a.R[v] = br
+				loadR[br]++
+			} else {
+				a.S[v-b.NLeft()] = bs
+				loadS[bs]++
+			}
+		}
+	}
+	return a
+}
+
+func argmin(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+// Package partition implements the open problem the paper closes with
+// (§5): many join algorithms first map R into R_1 ... R_k and S into
+// S_1 ... S_l and then join only a subset of the R_i x S_j pairs —
+// partitioned hash join, partition-based spatial merge join [13],
+// partitioned set joins [14]. The question posed is how hard it is to
+// find the optimal mapping; the paper states the problem is NP-complete
+// for all three predicate classes and conjectures equijoins admit good
+// approximations.
+//
+// The model here: an Assignment places every R-tuple in one of K
+// partitions and every S-tuple in one of L partitions. A partition pair
+// (i, j) is active when some joining tuple pair spans it; every active
+// pair must be investigated, reading both sides. The cost is
+//
+//	W(A) = sum over active (i,j) of (|R_i| + |S_j|),
+//
+// the total tuples read across sub-joins — exactly the "replication of
+// data or repeated processing of data" the introduction complains about.
+// A tuple processed once contributes once; cross-partition join edges
+// force re-reads.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinpebble/internal/graph"
+)
+
+// Assignment maps tuples to partitions: R[i] in [0,K), S[j] in [0,L).
+type Assignment struct {
+	R, S []int
+	K, L int
+}
+
+// Validate checks partition indices are in range.
+func (a *Assignment) Validate() error {
+	if a.K < 1 || a.L < 1 {
+		return fmt.Errorf("partition: need K,L >= 1 (got %d,%d)", a.K, a.L)
+	}
+	for i, p := range a.R {
+		if p < 0 || p >= a.K {
+			return fmt.Errorf("partition: R[%d]=%d outside [0,%d)", i, p, a.K)
+		}
+	}
+	for j, p := range a.S {
+		if p < 0 || p >= a.L {
+			return fmt.Errorf("partition: S[%d]=%d outside [0,%d)", j, p, a.L)
+		}
+	}
+	return nil
+}
+
+// Stats is the evaluation of an assignment against a join graph.
+type Stats struct {
+	// ActivePairs is the number of (R_i, S_j) sub-joins that must run.
+	ActivePairs int
+	// Work is W(A): total tuples read across active sub-joins.
+	Work int
+	// ReadLowerBound is the floor no assignment can beat: every
+	// non-isolated tuple is read at least once.
+	ReadLowerBound int
+}
+
+// Evaluate computes the cost of assignment a for join graph b. The
+// assignment must cover exactly b's tuples.
+func Evaluate(b *graph.Bipartite, a *Assignment) (*Stats, error) {
+	if a == nil {
+		return nil, fmt.Errorf("partition: nil assignment")
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if len(a.R) != b.NLeft() || len(a.S) != b.NRight() {
+		return nil, fmt.Errorf("partition: assignment covers %dx%d, join graph is %dx%d",
+			len(a.R), len(a.S), b.NLeft(), b.NRight())
+	}
+	sizeR := make([]int, a.K)
+	for _, p := range a.R {
+		sizeR[p]++
+	}
+	sizeS := make([]int, a.L)
+	for _, p := range a.S {
+		sizeS[p]++
+	}
+	active := make(map[[2]int]bool)
+	for e := 0; e < b.M(); e++ {
+		l, r := b.EdgeAt(e)
+		active[[2]int{a.R[l], a.S[r]}] = true
+	}
+	st := &Stats{ActivePairs: len(active)}
+	for p := range active {
+		st.Work += sizeR[p[0]] + sizeS[p[1]]
+	}
+	st.ReadLowerBound = readLowerBound(b)
+	return st, nil
+}
+
+// readLowerBound counts non-isolated tuples on both sides.
+func readLowerBound(b *graph.Bipartite) int {
+	g := b.Graph()
+	n := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Optimal finds the minimum-work assignment by exhaustive search over
+// all K^|R| * L^|S| assignments — exponential, for tiny ground-truth
+// instances only (the paper states the problem is NP-complete). It
+// returns an error when the search space exceeds maxStates (0 means
+// 50 million).
+func Optimal(b *graph.Bipartite, k, l int, maxStates int64) (*Assignment, *Stats, error) {
+	if maxStates == 0 {
+		maxStates = 50_000_000
+	}
+	states := int64(1)
+	for i := 0; i < b.NLeft(); i++ {
+		states *= int64(k)
+		if states > maxStates {
+			return nil, nil, fmt.Errorf("partition: search space exceeds %d states", maxStates)
+		}
+	}
+	for j := 0; j < b.NRight(); j++ {
+		states *= int64(l)
+		if states > maxStates {
+			return nil, nil, fmt.Errorf("partition: search space exceeds %d states", maxStates)
+		}
+	}
+
+	cur := &Assignment{R: make([]int, b.NLeft()), S: make([]int, b.NRight()), K: k, L: l}
+	var best *Assignment
+	var bestStats *Stats
+	var rec func(pos int) error
+	total := b.NLeft() + b.NRight()
+	rec = func(pos int) error {
+		if pos == total {
+			st, err := Evaluate(b, cur)
+			if err != nil {
+				return err
+			}
+			if best == nil || st.Work < bestStats.Work {
+				cp := &Assignment{R: append([]int(nil), cur.R...), S: append([]int(nil), cur.S...), K: k, L: l}
+				best, bestStats = cp, st
+			}
+			return nil
+		}
+		limit := k
+		if pos >= b.NLeft() {
+			limit = l
+		}
+		for p := 0; p < limit; p++ {
+			if pos < b.NLeft() {
+				cur.R[pos] = p
+			} else {
+				cur.S[pos-b.NLeft()] = p
+			}
+			if err := rec(pos + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, nil, err
+	}
+	return best, bestStats, nil
+}
+
+// Random returns a uniformly random assignment — the baseline heuristics
+// are measured against.
+func Random(rng *rand.Rand, nLeft, nRight, k, l int) *Assignment {
+	a := &Assignment{R: make([]int, nLeft), S: make([]int, nRight), K: k, L: l}
+	for i := range a.R {
+		a.R[i] = rng.Intn(k)
+	}
+	for j := range a.S {
+		a.S[j] = rng.Intn(l)
+	}
+	return a
+}

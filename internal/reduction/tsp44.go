@@ -1,0 +1,131 @@
+package reduction
+
+import (
+	"fmt"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/graph"
+	"joinpebble/internal/tsp"
+)
+
+// TSPToPebble is the Theorem 4.4 L-reduction from TSP-3(1,2) to PEBBLE:
+// f(G) is the incidence graph B = (V, E, incidence), a bipartite graph
+// whose pebbling problem is the TSP on L(B) — and L(B) is G with every
+// degree-i vertex blown into an i-clique (one clique vertex per incident
+// edge), preserving tour structure.
+type TSPToPebble struct {
+	// G is the input TSP-3(1,2) good-edge graph.
+	G *graph.Graph
+	// B is the bipartite incidence graph: left = vertices of G, right =
+	// edges of G.
+	B *graph.Bipartite
+}
+
+// NewTSPToPebble builds f(G). It fails if G has a vertex of degree > 3.
+func NewTSPToPebble(g *graph.Graph) (*TSPToPebble, error) {
+	if d := g.MaxDegree(); d > 3 {
+		return nil, fmt.Errorf("reduction: max degree %d > 3", d)
+	}
+	return &TSPToPebble{G: g, B: graph.IncidenceGraph(g)}, nil
+}
+
+// incidenceEdgeIndex returns the index of B's edge (vertex v, G-edge ei)
+// within B's underlying graph. IncidenceGraph inserts, for each G edge i,
+// the incidence of its U endpoint then its V endpoint, so the index is
+// 2i or 2i+1.
+func (r *TSPToPebble) incidenceEdgeIndex(v, ei int) int {
+	e := r.G.EdgeAt(ei)
+	switch v {
+	case e.U:
+		return 2 * ei
+	case e.V:
+		return 2*ei + 1
+	}
+	panic("reduction: vertex not an endpoint of edge")
+}
+
+// ForwardScheme lifts a tour of G to a pebbling scheme for B with the
+// same number of jumps: visiting vertex v covers all of v's incidences
+// (a clique in L(B), so free moves), finishing with the incidence of the
+// edge leading to the tour's next vertex when that step is good. This
+// witnesses π̂(B) <= 2m(G) + J(t) + 1.
+func (r *TSPToPebble) ForwardScheme(t tsp.Tour) (core.Scheme, error) {
+	gin := tsp.NewInstance(r.G)
+	if err := gin.Validate(t); err != nil {
+		return nil, err
+	}
+	bg := r.B.Graph()
+	order := make([]int, 0, bg.M())
+	for i, v := range t {
+		// The incidence to end on: the edge to the next tour vertex, if
+		// it is a good step.
+		endEdge := -1
+		if i < len(t)-1 {
+			if ei, ok := r.G.EdgeIndex(v, t[i+1]); ok {
+				endEdge = ei
+			}
+		}
+		// And the one to start from: the edge from the previous vertex.
+		startEdge := -1
+		if i > 0 {
+			if ei, ok := r.G.EdgeIndex(t[i-1], v); ok {
+				startEdge = ei
+			}
+		}
+		var mid []int
+		for _, ei := range r.G.IncidentEdges(v) {
+			if ei != endEdge && ei != startEdge {
+				mid = append(mid, ei)
+			}
+		}
+		seq := make([]int, 0, 3)
+		if startEdge >= 0 {
+			seq = append(seq, startEdge)
+		}
+		seq = append(seq, mid...)
+		if endEdge >= 0 && endEdge != startEdge {
+			seq = append(seq, endEdge)
+		}
+		for _, ei := range seq {
+			order = append(order, r.incidenceEdgeIndex(v, ei))
+		}
+	}
+	return core.SchemeFromEdgeOrder(bg, order)
+}
+
+// BackTour is the g of the L-reduction: a pebbling scheme for B induces
+// an edge order (a tour of L(B)); projecting incidences (v, e) to v by
+// first visit gives a tour of G.
+func (r *TSPToPebble) BackTour(s core.Scheme) (tsp.Tour, error) {
+	bg := r.B.Graph()
+	order, err := core.EdgeOrderFromScheme(bg, s)
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, r.G.N())
+	var out tsp.Tour
+	for _, bi := range order {
+		// B edge bi = incidence (vertex, G-edge): the left endpoint is
+		// the G vertex.
+		l, _ := r.B.EdgeAt(bi)
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	if len(out) != r.G.N() {
+		return nil, fmt.Errorf("reduction: projection covered %d of %d vertices (isolated vertex in G?)", len(out), r.G.N())
+	}
+	return out, nil
+}
+
+// PebbleCostFromTourCost converts an optimal G tour cost c = n−1+J into
+// the corresponding pebbling cost of B: every incidence must be visited
+// (2m configurations), jumps carry over, and the scheme pays one startup:
+// π̂(B) = 2m + J + 1 when the reduction is tight. The E12 experiment
+// verifies this equality against the exact solvers.
+func (r *TSPToPebble) PebbleCostFromTourCost(tourCost int) int {
+	n := r.G.N()
+	j := tourCost - (n - 1)
+	return 2*r.G.M() + j + 1
+}

@@ -1,0 +1,34 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the relation parser never panics and round-trips what
+// it accepts.
+func FuzzRead(f *testing.F) {
+	f.Add("relation r int\n1\n-2\n")
+	f.Add("relation s string\n\"a b\"\n")
+	f.Add("relation t set\n{1,2}\n{}\n")
+	f.Add("relation q rect\n0 0 1 1\n")
+	f.Add("relation broken bogus\n")
+	f.Add("relation r int\nnotanumber\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := rel.Write(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal input: %q\nserialized: %q", err, input, sb.String())
+		}
+		if back.Kind != rel.Kind || back.Len() != rel.Len() {
+			t.Fatalf("round trip changed shape: %v/%d vs %v/%d", back.Kind, back.Len(), rel.Kind, rel.Len())
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package sets
+
+import "testing"
+
+// FuzzParse checks the set-literal parser never panics and round-trips
+// what it accepts.
+func FuzzParse(f *testing.F) {
+	f.Add("{}")
+	f.Add("{1}")
+	f.Add("{3, 1, 4, 1, 5}")
+	f.Add("{4294967295}")
+	f.Add("1,2")
+	f.Add("{x}")
+	f.Add("{")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(input)
+		if err != nil {
+			return
+		}
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("round trip rejected %q (from %q): %v", s.String(), input, err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("round trip changed set: %v vs %v", back, s)
+		}
+		// Invariant: elements strictly increasing.
+		es := s.Elems()
+		for i := 1; i < len(es); i++ {
+			if es[i-1] >= es[i] {
+				t.Fatalf("parsed set not strictly sorted: %v", es)
+			}
+		}
+	})
+}

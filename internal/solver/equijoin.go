@@ -1,0 +1,133 @@
+package solver
+
+import (
+	"fmt"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/graph"
+)
+
+// Equijoin is the linear-time perfect pebbler of Theorems 3.2 and 4.1.
+// It requires every connected component of the input to be a complete
+// bipartite graph — the defining structure of equijoin join graphs
+// (§3.1: all R-tuples with value v join all S-tuples with value v) — and
+// produces a perfect scheme (π(G) = m) by pebbling each component in the
+// boustrophedon order of Lemma 3.2:
+//
+//	(u1,v1) (u1,v2) ... (u1,vl) (u2,vl) (u2,v(l-1)) ... (u2,v1) (u3,v1) ...
+//
+// This is the pebbling-model shadow of the merge phase of sort-merge
+// join, as §4 remarks. Solve returns an error if a component is not
+// complete bipartite.
+type Equijoin struct{}
+
+// Name implements Solver.
+func (Equijoin) Name() string { return "equijoin" }
+
+// Solve implements Solver.
+func (Equijoin) Solve(g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(g, equijoinComponentOrder)
+}
+
+func equijoinComponentOrder(cg *graph.Graph) ([]int, error) {
+	left, right, err := completeBipartiteSides(cg)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, 0, cg.M())
+	for i, u := range left {
+		if i%2 == 0 {
+			for j := 0; j < len(right); j++ {
+				idx, _ := cg.EdgeIndex(u, right[j])
+				order = append(order, idx)
+			}
+		} else {
+			for j := len(right) - 1; j >= 0; j-- {
+				idx, _ := cg.EdgeIndex(u, right[j])
+				order = append(order, idx)
+			}
+		}
+	}
+	return order, nil
+}
+
+// completeBipartiteSides verifies cg is a complete bipartite graph and
+// returns its two sides. Linear in the size of cg: it 2-colors the graph
+// and then checks m == |L|·|R| — which for a simple bipartite graph
+// forces completeness.
+func completeBipartiteSides(cg *graph.Graph) (left, right []int, err error) {
+	side, ok := graph.IsBipartition(cg)
+	if !ok {
+		return nil, nil, fmt.Errorf("solver: component is not bipartite")
+	}
+	for v := 0; v < cg.N(); v++ {
+		if side[v] {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	if cg.M() != len(left)*len(right) {
+		return nil, nil, fmt.Errorf("solver: component is not complete bipartite (m=%d, sides %dx%d)",
+			cg.M(), len(left), len(right))
+	}
+	return left, right, nil
+}
+
+// IsEquijoinGraph reports whether every edge-bearing component of g is a
+// complete bipartite graph, i.e. whether g could be the join graph of an
+// equijoin (§3.1). Linear: 2-color once, then per component compare the
+// edge count against the product of the side sizes.
+func IsEquijoinGraph(g *graph.Graph) bool {
+	side, ok := graph.IsBipartition(g)
+	if !ok {
+		return false
+	}
+	comps := g.Components()
+	compID := make([]int, g.N())
+	left := make([]int, len(comps))
+	right := make([]int, len(comps))
+	edges := make([]int, len(comps))
+	for ci, comp := range comps {
+		for _, v := range comp {
+			compID[v] = ci
+			if side[v] {
+				left[ci]++
+			} else {
+				right[ci]++
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		edges[compID[e.U]]++
+	}
+	for ci, comp := range comps {
+		if len(comp) < 2 {
+			continue
+		}
+		if edges[ci] != left[ci]*right[ci] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchingSolver pebbles a perfect matching at the Lemma 2.4 cost
+// π̂ = 2m: one configuration per edge, jumping between all of them. It
+// rejects graphs with any vertex of degree > 1.
+type MatchingSolver struct{}
+
+// Name implements Solver.
+func (MatchingSolver) Name() string { return "matching" }
+
+// Solve implements Solver.
+func (MatchingSolver) Solve(g *graph.Graph) (core.Scheme, error) {
+	if g.MaxDegree() > 1 {
+		return nil, fmt.Errorf("solver: graph is not a matching (max degree %d)", g.MaxDegree())
+	}
+	order := make([]int, g.M())
+	for i := range order {
+		order[i] = i
+	}
+	return core.SchemeFromEdgeOrder(g, order)
+}

@@ -1,0 +1,73 @@
+package solver
+
+import (
+	"fmt"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/graph"
+	"joinpebble/internal/tsp"
+)
+
+// Exact computes an optimal pebbling scheme via Proposition 2.2: per
+// connected component, solve TSP(1,2) on the line graph exactly and
+// translate the tour back into a pebbling. Exponential in the component's
+// edge count (PEBBLE(D) is NP-complete, Theorem 4.2); components above
+// MaxEdges are rejected.
+type Exact struct {
+	// MaxEdges caps the per-component edge count (the TSP city count).
+	// Zero means tsp.MaxExactCities.
+	MaxEdges int
+}
+
+// Name implements Solver.
+func (Exact) Name() string { return "exact" }
+
+// Solve implements Solver.
+func (e Exact) Solve(g *graph.Graph) (core.Scheme, error) {
+	limit := e.MaxEdges
+	if limit == 0 {
+		limit = tsp.MaxExactCities
+	}
+	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+		if cg.M() > limit {
+			return nil, fmt.Errorf("solver: component with %d edges exceeds exact limit %d", cg.M(), limit)
+		}
+		in := tsp.NewInstance(graph.LineGraph(cg))
+		tour, _, err := tsp.Exact(in)
+		if err != nil {
+			return nil, err
+		}
+		return []int(tour), nil
+	})
+}
+
+// OptimalCost returns π̂(G), the optimal pebbling cost, by solving each
+// component exactly. It is the ground truth the experiments compare
+// against.
+func OptimalCost(g *graph.Graph) (int, error) {
+	scheme, err := Exact{}.Solve(g)
+	if err != nil {
+		return 0, err
+	}
+	return core.Verify(g, scheme)
+}
+
+// OptimalEffectiveCost returns π(G) = π̂(G) − β₀(G).
+func OptimalEffectiveCost(g *graph.Graph) (int, error) {
+	c, err := OptimalCost(g)
+	if err != nil {
+		return 0, err
+	}
+	return c - core.Betti0(g), nil
+}
+
+// HasPerfectScheme decides Definition 2.3 exactly: whether π(G) = m. By
+// Proposition 2.1 this holds iff every component's line graph has a
+// Hamiltonian path.
+func HasPerfectScheme(g *graph.Graph) (bool, error) {
+	eff, err := OptimalEffectiveCost(g)
+	if err != nil {
+		return false, err
+	}
+	return eff == g.M(), nil
+}

@@ -1,0 +1,144 @@
+package solver
+
+import (
+	"fmt"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/graph"
+	"joinpebble/internal/tsp"
+)
+
+// Greedy runs the nearest-neighbour TSP heuristic on each component's
+// line graph. No approximation guarantee beyond the universal factor 2,
+// but fast and a useful baseline for the E14 ratio experiment.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "greedy" }
+
+// Solve implements Solver.
+func (Greedy) Solve(g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+		in := tsp.NewInstance(graph.LineGraph(cg))
+		tour, _ := tsp.NearestNeighbor(in)
+		return []int(tour), nil
+	})
+}
+
+// GreedyImproved runs nearest-neighbour followed by 2-opt/Or-opt local
+// search on each component's line graph.
+type GreedyImproved struct{}
+
+// Name implements Solver.
+func (GreedyImproved) Name() string { return "greedy+2opt" }
+
+// Solve implements Solver.
+func (GreedyImproved) Solve(g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+		in := tsp.NewInstance(graph.LineGraph(cg))
+		tour, _ := tsp.NearestNeighbor(in)
+		tour, _ = tsp.TwoOptImprove(in, tour)
+		return []int(tour), nil
+	})
+}
+
+// PathCover chains the GreedyPathCover heuristic per component.
+type PathCover struct{}
+
+// Name implements Solver.
+func (PathCover) Name() string { return "path-cover" }
+
+// Solve implements Solver.
+func (PathCover) Solve(g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+		in := tsp.NewInstance(graph.LineGraph(cg))
+		tour, _ := tsp.GreedyPathCover(in)
+		return []int(tour), nil
+	})
+}
+
+// CycleCover is the Papadimitriou–Yannakakis-style solver the paper's
+// 7/6 remark points at (§4, citing [12]): per component, a minimum-weight
+// cycle cover of the line graph (via the Hungarian assignment) is broken
+// into paths and stitched into a tour.
+type CycleCover struct{}
+
+// Name implements Solver.
+func (CycleCover) Name() string { return "cycle-cover" }
+
+// Solve implements Solver.
+func (CycleCover) Solve(g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+		in := tsp.NewInstance(graph.LineGraph(cg))
+		tour, _, err := tsp.CycleCoverTour(in)
+		if err != nil {
+			return nil, err
+		}
+		return []int(tour), nil
+	})
+}
+
+// ExactBnB is an exact solver using branch-and-bound instead of
+// Held–Karp: slower in the worst case but without the 2^m memory, so it
+// reaches somewhat larger sparse components. MaxNodes caps the search
+// per component (0 = unlimited); hitting the cap is an error, not a
+// silent approximation.
+type ExactBnB struct {
+	MaxNodes int64
+}
+
+// Name implements Solver.
+func (ExactBnB) Name() string { return "exact-bnb" }
+
+// Solve implements Solver.
+func (e ExactBnB) Solve(g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+		in := tsp.NewInstance(graph.LineGraph(cg))
+		tour, _, exhausted := tsp.BranchAndBound(in, e.MaxNodes)
+		if !exhausted {
+			return nil, fmt.Errorf("solver: branch-and-bound node cap %d hit on component with %d edges", e.MaxNodes, cg.M())
+		}
+		return []int(tour), nil
+	})
+}
+
+// Auto picks the best applicable solver: the linear-time perfect pebbler
+// when the graph is an equijoin graph (Theorem 4.1), the exact solver
+// when every component fits the exponential budget, and the Theorem 3.1
+// approximation otherwise. This is the solver the public facade exposes
+// by default.
+type Auto struct {
+	// ExactLimit caps the exact solver's per-component edge count; zero
+	// means tsp.MaxExactCities.
+	ExactLimit int
+}
+
+// Name implements Solver.
+func (Auto) Name() string { return "auto" }
+
+// Solve implements Solver.
+func (a Auto) Solve(g *graph.Graph) (core.Scheme, error) {
+	if IsEquijoinGraph(g) {
+		return Equijoin{}.Solve(g)
+	}
+	limit := a.ExactLimit
+	if limit == 0 {
+		limit = tsp.MaxExactCities
+	}
+	fits := true
+	for _, m := range componentEdgeCounts(g) {
+		if m > limit {
+			fits = false
+			break
+		}
+	}
+	if fits {
+		return Exact{MaxEdges: limit}.Solve(g)
+	}
+	return Approx125{}.Solve(g)
+}
+
+// All returns the solver lineup used by comparative experiments.
+func All() []Solver {
+	return []Solver{Naive{}, Greedy{}, GreedyImproved{}, PathCover{}, CycleCover{}, Approx125{}, Exact{}}
+}

@@ -1,0 +1,482 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/family"
+	"joinpebble/internal/graph"
+)
+
+// randomConnectedBip returns a random connected bipartite graph with a
+// feasible random edge count, small enough for the exact solver.
+func randomConnectedBip(r *rand.Rand) *graph.Graph {
+	nl, nr := 2+r.Intn(3), 2+r.Intn(3)
+	minM, maxM := nl+nr-1, nl*nr
+	m := minM + r.Intn(maxM-minM+1)
+	if m > 14 {
+		m = 14
+	}
+	if m < minM {
+		m = minM
+	}
+	return graph.RandomConnectedBipartite(r, nl, nr, m).Graph()
+}
+
+func TestExactOnKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int // optimal π̂
+	}{
+		{"single edge", graph.Matching(1).Graph(), 2},
+		{"matching-3", graph.Matching(3).Graph(), 6},      // Lemma 2.4: 2m
+		{"path-4", graph.PathBipartite(4).Graph(), 5},     // perfect: m+1
+		{"K23", graph.CompleteBipartite(2, 3).Graph(), 7}, // perfect: m+1
+		{"cycle-6", graph.CycleBipartite(6).Graph(), 7},   // perfect: m+1
+		{"spider-4", family.Spider(4).Graph(), family.SpiderOptimalEffectiveCost(4) + 1},
+	}
+	for _, c := range cases {
+		scheme, cost, err := SolveAndVerify(Exact{}, c.g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if cost != c.want {
+			t.Fatalf("%s: π̂=%d want %d", c.name, cost, c.want)
+		}
+		if len(scheme) == 0 {
+			t.Fatalf("%s: empty scheme", c.name)
+		}
+	}
+}
+
+func TestExactIsOptimalAgainstBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnectedBip(r)
+		_, cost, err := SolveAndVerify(Exact{}, g)
+		if err != nil {
+			return false
+		}
+		return cost >= core.LowerBound(g) && cost <= core.UpperBound(g)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSolverBeatsExact(t *testing.T) {
+	// The exact solver is ground truth: every other solver's verified
+	// cost must be >= exact on the same graph.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		g := randomConnectedBip(rng)
+		_, optimal, err := SolveAndVerify(Exact{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Solver{Naive{}, Greedy{}, GreedyImproved{}, PathCover{}, CycleCover{}, Approx125{}} {
+			_, cost, err := SolveAndVerify(s, g)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, s.Name(), err)
+			}
+			if cost < optimal {
+				t.Fatalf("trial %d: %s cost %d beats exact %d on %v", trial, s.Name(), cost, optimal, g)
+			}
+		}
+	}
+}
+
+func TestExactAdditivity(t *testing.T) {
+	// Lemma 2.2 observed computationally: π̂(G ⊔ H) = π̂(G) + π̂(H).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomConnectedBipartite(rng, 2, 3, 5).Graph()
+		h := graph.RandomConnectedBipartite(rng, 3, 2, 6).Graph()
+		u := graph.DisjointUnion(g, h)
+		cg, err1 := OptimalCost(g)
+		ch, err2 := OptimalCost(h)
+		cu, err3 := OptimalCost(u)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatal(err1, err2, err3)
+		}
+		if cu != cg+ch {
+			t.Fatalf("trial %d: π̂(G⊔H)=%d, π̂(G)+π̂(H)=%d", trial, cu, cg+ch)
+		}
+	}
+}
+
+func TestEquijoinPerfectOnCompleteBipartite(t *testing.T) {
+	// Lemma 3.2 / Theorem 3.2: complete bipartite graphs pebble
+	// perfectly via the boustrophedon order.
+	for _, kl := range [][2]int{{1, 1}, {1, 5}, {2, 2}, {3, 4}, {5, 5}, {7, 3}} {
+		g := graph.CompleteBipartite(kl[0], kl[1]).Graph()
+		scheme, cost, err := SolveAndVerify(Equijoin{}, g)
+		if err != nil {
+			t.Fatalf("K_{%d,%d}: %v", kl[0], kl[1], err)
+		}
+		if cost != g.M()+1 {
+			t.Fatalf("K_{%d,%d}: π̂=%d want m+1=%d", kl[0], kl[1], cost, g.M()+1)
+		}
+		if !core.Perfect(g, scheme) {
+			t.Fatalf("K_{%d,%d}: scheme not perfect", kl[0], kl[1])
+		}
+	}
+}
+
+func TestEquijoinOnUnionOfCompleteBipartite(t *testing.T) {
+	// An equijoin graph: disjoint union of complete bipartite components
+	// (one per join value). Theorem 3.2: pebbled perfectly overall.
+	u := graph.DisjointUnion(
+		graph.CompleteBipartite(2, 3).Graph(),
+		graph.DisjointUnion(graph.CompleteBipartite(1, 4).Graph(), graph.CompleteBipartite(3, 3).Graph()),
+	)
+	scheme, cost, err := SolveAndVerify(Equijoin{}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Perfect(u, scheme) {
+		t.Fatal("equijoin union should pebble perfectly")
+	}
+	if want := u.M() + core.Betti0(u); cost != want {
+		t.Fatalf("π̂=%d want m+β₀=%d", cost, want)
+	}
+}
+
+func TestEquijoinRejectsNonCompleteBipartite(t *testing.T) {
+	g := graph.PathBipartite(3).Graph() // path of 3 edges is not complete bipartite
+	if _, err := (Equijoin{}).Solve(g); err == nil {
+		t.Fatal("path must be rejected by the equijoin solver")
+	}
+	tri := graph.New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(2, 0)
+	if _, err := (Equijoin{}).Solve(tri); err == nil {
+		t.Fatal("triangle must be rejected")
+	}
+}
+
+func TestEquijoinMatchesExact(t *testing.T) {
+	// On equijoin graphs, the linear-time pebbler must equal the
+	// exponential exact solver (Theorem 4.1).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.CompleteBipartite(1+rng.Intn(3), 1+rng.Intn(4)).Graph()
+		_, ce, err := SolveAndVerify(Exact{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cq, err := SolveAndVerify(Equijoin{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ce != cq {
+			t.Fatalf("trial %d: equijoin=%d exact=%d", trial, cq, ce)
+		}
+	}
+}
+
+func TestIsEquijoinGraph(t *testing.T) {
+	if !IsEquijoinGraph(graph.CompleteBipartite(3, 4).Graph()) {
+		t.Fatal("K_{3,4} is an equijoin graph")
+	}
+	if !IsEquijoinGraph(graph.Matching(4).Graph()) {
+		t.Fatal("a matching is an equijoin graph (K_{1,1} components)")
+	}
+	if IsEquijoinGraph(graph.PathBipartite(3).Graph()) {
+		t.Fatal("P4 is not an equijoin graph")
+	}
+	if IsEquijoinGraph(family.Spider(3).Graph()) {
+		t.Fatal("the spider is not an equijoin graph")
+	}
+}
+
+func TestMatchingSolverLemma24(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 16} {
+		g := graph.Matching(m).Graph()
+		scheme, cost, err := SolveAndVerify(MatchingSolver{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != 2*m {
+			t.Fatalf("m=%d: π̂=%d want 2m (Lemma 2.4)", m, cost)
+		}
+		if eff := scheme.EffectiveCost(g); eff != m {
+			t.Fatalf("m=%d: π=%d want m", m, eff)
+		}
+	}
+	if _, err := (MatchingSolver{}).Solve(graph.PathBipartite(2).Graph()); err == nil {
+		t.Fatal("non-matching must be rejected")
+	}
+}
+
+func TestApprox125Bound(t *testing.T) {
+	// Theorem 3.1: the DFS-partition scheme costs at most
+	// m + floor((m-1)/4) + 1 per connected component.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		g := randomConnectedBip(rng)
+		_, cost, err := SolveAndVerify(Approx125{}, g)
+		if err != nil {
+			t.Fatalf("trial %d on %v: %v", trial, g, err)
+		}
+		if bound := ApproxCostBound(g); cost > bound {
+			t.Fatalf("trial %d: cost %d exceeds Theorem 3.1 bound %d on %v", trial, cost, bound, g)
+		}
+	}
+}
+
+func TestApprox125OnSpiders(t *testing.T) {
+	// The hard family: approximation must stay within the bound and above
+	// the known optimum.
+	for n := 1; n <= 40; n++ {
+		g := family.Spider(n).Graph()
+		_, cost, err := SolveAndVerify(Approx125{}, g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if cost > ApproxCostBound(g) {
+			t.Fatalf("n=%d: cost %d exceeds bound %d", n, cost, ApproxCostBound(g))
+		}
+		if opt := family.SpiderOptimalEffectiveCost(n) + 1; cost < opt {
+			t.Fatalf("n=%d: cost %d below optimal %d — impossible", n, cost, opt)
+		}
+	}
+}
+
+func TestApprox125RatioAgainstExact(t *testing.T) {
+	// Effective-cost ratio π_approx/π_opt <= 1.25 (both >= m; approx <=
+	// m + (m-1)/4).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		g := randomConnectedBip(rng)
+		_, ca, err := SolveAndVerify(Approx125{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ce, err := SolveAndVerify(Exact{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 4*(ca-1) > 5*(ce-1) { // π_a <= 1.25 π_e using π = π̂-1 for connected
+			t.Fatalf("trial %d: approx π=%d vs exact π=%d exceeds 1.25 ratio", trial, ca-1, ce-1)
+		}
+	}
+}
+
+func TestApprox125LargeGraphs(t *testing.T) {
+	// The construction must hold far beyond exact-solver reach.
+	rng := rand.New(rand.NewSource(8))
+	sizes := [][3]int{{20, 20, 60}, {40, 30, 200}, {25, 25, 600}}
+	for _, sz := range sizes {
+		g := graph.RandomConnectedBipartite(rng, sz[0], sz[1], sz[2]).Graph()
+		_, cost, err := SolveAndVerify(Approx125{}, g)
+		if err != nil {
+			t.Fatalf("size %v: %v", sz, err)
+		}
+		if bound := ApproxCostBound(g); cost > bound {
+			t.Fatalf("size %v: cost %d exceeds bound %d", sz, cost, bound)
+		}
+	}
+}
+
+func TestApprox125OnFamilies(t *testing.T) {
+	for _, name := range family.All() {
+		for _, size := range []int{2, 5, 9} {
+			b, err := family.Build(name, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, _ := b.Graph().WithoutIsolated()
+			_, cost, err := SolveAndVerify(Approx125{}, g)
+			if err != nil {
+				t.Fatalf("%s(%d): %v", name, size, err)
+			}
+			if bound := ApproxCostBound(g); cost > bound {
+				t.Fatalf("%s(%d): cost %d exceeds bound %d", name, size, cost, bound)
+			}
+		}
+	}
+}
+
+func TestGreedySolversProduceValidSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnectedBip(rng)
+		for _, s := range []Solver{Greedy{}, GreedyImproved{}, PathCover{}, CycleCover{}, Naive{}} {
+			if _, _, err := SolveAndVerify(s, g); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestExactBnBMatchesHeldKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 15; trial++ {
+		g := randomConnectedBip(rng)
+		_, hk, err := SolveAndVerify(Exact{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bb, err := SolveAndVerify(ExactBnB{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hk != bb {
+			t.Fatalf("trial %d: held-karp=%d bnb=%d", trial, hk, bb)
+		}
+	}
+}
+
+func TestExactBnBNodeCapErrors(t *testing.T) {
+	g := family.Spider(6).Graph()
+	if _, err := (ExactBnB{MaxNodes: 5}).Solve(g); err == nil {
+		t.Fatal("tiny node cap must surface an error, not a silent approximation")
+	}
+}
+
+func TestCycleCoverNearOptimal(t *testing.T) {
+	// The §4 remark cites a 7/6 approximation; require the cycle-cover
+	// solver's effective cost within 7/6 of optimal plus one move of
+	// slack on these exact-solvable instances.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnectedBip(rng)
+		_, opt, err := SolveAndVerify(Exact{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := SolveAndVerify(CycleCover{}, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 6*(got-1) > 7*(opt-1)+6 {
+			t.Fatalf("trial %d: cycle-cover π=%d vs optimal %d breaks 7/6+1", trial, got-1, opt-1)
+		}
+	}
+}
+
+func TestAutoSelectsEquijoinPath(t *testing.T) {
+	g := graph.CompleteBipartite(30, 30).Graph() // 900 edges: far beyond exact
+	scheme, cost, err := SolveAndVerify(Auto{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Perfect(g, scheme) {
+		t.Fatal("auto must pebble equijoin graphs perfectly")
+	}
+	if cost != g.M()+1 {
+		t.Fatalf("π̂=%d want m+1", cost)
+	}
+}
+
+func TestAutoFallsBackToApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := graph.RandomConnectedBipartite(rng, 15, 15, 80).Graph() // not equijoin, too big for exact
+	_, cost, err := SolveAndVerify(Auto{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost > ApproxCostBound(g) {
+		t.Fatalf("auto fallback exceeded approx bound: %d > %d", cost, ApproxCostBound(g))
+	}
+}
+
+func TestAutoUsesExactOnSmallHardGraphs(t *testing.T) {
+	g := family.Spider(4).Graph()
+	_, cost, err := SolveAndVerify(Auto{}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := family.SpiderOptimalEffectiveCost(4) + 1; cost != want {
+		t.Fatalf("auto on spider-4: π̂=%d want optimal %d", cost, want)
+	}
+}
+
+func TestOptimalCostInvariantUnderRelabeling(t *testing.T) {
+	// π̂ is a graph invariant: permuting vertex labels must not change
+	// the exact solver's answer.
+	rng := rand.New(rand.NewSource(29))
+	cfg := &quick.Config{MaxCount: 20, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnectedBip(r)
+		perm := r.Perm(g.N())
+		h := graph.New(g.N())
+		for _, e := range g.Edges() {
+			h.AddEdge(perm[e.U], perm[e.V])
+		}
+		c1, err1 := OptimalCost(g)
+		c2, err2 := OptimalCost(h)
+		return err1 == nil && err2 == nil && c1 == c2
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalCostInvariantUnderEdgeOrder(t *testing.T) {
+	// Inserting the same edges in a different order must not change π̂.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnectedBip(rng)
+		edges := g.Edges()
+		h := graph.New(g.N())
+		for _, k := range rng.Perm(len(edges)) {
+			h.AddEdge(edges[k].U, edges[k].V)
+		}
+		c1, err1 := OptimalCost(g)
+		c2, err2 := OptimalCost(h)
+		if err1 != nil || err2 != nil || c1 != c2 {
+			t.Fatalf("trial %d: %d vs %d (%v %v)", trial, c1, c2, err1, err2)
+		}
+	}
+}
+
+func TestHasPerfectScheme(t *testing.T) {
+	ok, err := HasPerfectScheme(graph.CompleteBipartite(3, 3).Graph())
+	if err != nil || !ok {
+		t.Fatalf("K_{3,3} pebbles perfectly: ok=%v err=%v", ok, err)
+	}
+	ok, err = HasPerfectScheme(family.Spider(3).Graph())
+	if err != nil || ok {
+		t.Fatalf("spider-3 cannot pebble perfectly: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestExactRejectsOversizedComponent(t *testing.T) {
+	g := graph.RandomConnectedBipartite(rand.New(rand.NewSource(11)), 10, 10, 40).Graph()
+	if _, err := (Exact{MaxEdges: 10}).Solve(g); err == nil {
+		t.Fatal("oversized component must be rejected")
+	}
+}
+
+func TestSolverlessEmptyGraph(t *testing.T) {
+	g := graph.New(5)
+	for _, s := range All() {
+		scheme, err := s.Solve(g)
+		if err != nil {
+			t.Fatalf("%s on edgeless graph: %v", s.Name(), err)
+		}
+		if len(scheme) != 0 {
+			t.Fatalf("%s produced nonempty scheme for edgeless graph", s.Name())
+		}
+	}
+}
+
+func TestOptimalEffectiveCostConnected(t *testing.T) {
+	g := graph.PathBipartite(5).Graph()
+	eff, err := OptimalEffectiveCost(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 5 {
+		t.Fatalf("π(P6)=%d want m=5", eff)
+	}
+}

@@ -1,0 +1,90 @@
+package spatial
+
+import "sort"
+
+// IntersectingPairs reports all overlapping pairs (i, j) between two
+// rectangle sets by a plane sweep along x: events are rectangle starts
+// and ends; a start of an R-rectangle is checked against the active
+// S-rectangles and vice versa. With closed-rectangle semantics, starts
+// are processed before ends at equal x so touching rectangles count.
+//
+// The emission order — pairs discovered as the sweep advances — is the
+// order a sweep-based spatial join produces tuples in, which is what the
+// E15 experiment measures the pebbling cost of.
+func IntersectingPairs(rs, ss []Rect) [][2]int {
+	type event struct {
+		x     float64
+		start bool
+		side  int // 0 = R, 1 = S
+		idx   int
+	}
+	events := make([]event, 0, 2*(len(rs)+len(ss)))
+	for i, r := range rs {
+		events = append(events, event{x: r.MinX, start: true, side: 0, idx: i})
+		events = append(events, event{x: r.MaxX, start: false, side: 0, idx: i})
+	}
+	for j, s := range ss {
+		events = append(events, event{x: s.MinX, start: true, side: 1, idx: j})
+		events = append(events, event{x: s.MaxX, start: false, side: 1, idx: j})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].x != events[b].x {
+			return events[a].x < events[b].x
+		}
+		// Starts before ends so closed rectangles that touch still pair.
+		if events[a].start != events[b].start {
+			return events[a].start
+		}
+		if events[a].side != events[b].side {
+			return events[a].side < events[b].side
+		}
+		return events[a].idx < events[b].idx
+	})
+
+	activeR := make(map[int]struct{})
+	activeS := make(map[int]struct{})
+	var out [][2]int
+	for _, e := range events {
+		if !e.start {
+			if e.side == 0 {
+				delete(activeR, e.idx)
+			} else {
+				delete(activeS, e.idx)
+			}
+			continue
+		}
+		if e.side == 0 {
+			r := rs[e.idx]
+			// Collect matches sorted for deterministic emission order.
+			matches := make([]int, 0, len(activeS))
+			for j := range activeS {
+				if yOverlap(r, ss[j]) {
+					matches = append(matches, j)
+				}
+			}
+			sort.Ints(matches)
+			for _, j := range matches {
+				out = append(out, [2]int{e.idx, j})
+			}
+			activeR[e.idx] = struct{}{}
+		} else {
+			s := ss[e.idx]
+			matches := make([]int, 0, len(activeR))
+			for i := range activeR {
+				if yOverlap(rs[i], s) {
+					matches = append(matches, i)
+				}
+			}
+			sort.Ints(matches)
+			for _, i := range matches {
+				out = append(out, [2]int{i, e.idx})
+			}
+			activeS[e.idx] = struct{}{}
+		}
+	}
+	return out
+}
+
+func yOverlap(a, b Rect) bool {
+	return a.MinY <= b.MaxY && b.MinY <= a.MaxY
+}

@@ -1,0 +1,179 @@
+package tsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxExactCities bounds the Held–Karp solver: the DP table has
+// 2^n * n uint16 entries, so 24 cities ≈ 800 MB is the practical ceiling;
+// we stop well short of it.
+const MaxExactCities = 22
+
+// Exact computes an optimal tour by Held–Karp dynamic programming over
+// vertex subsets: dp[S][v] = cheapest path visiting exactly the cities in
+// S and ending at v. O(2^n · n²) time, O(2^n · n) space. It returns an
+// error for instances above MaxExactCities; callers should fall back to
+// BranchAndBound or a heuristic.
+func Exact(in *Instance) (Tour, int, error) {
+	n := in.N()
+	if n == 0 {
+		return Tour{}, 0, nil
+	}
+	if n == 1 {
+		return Tour{0}, 0, nil
+	}
+	if n > MaxExactCities {
+		return nil, 0, fmt.Errorf("tsp: %d cities exceeds exact limit %d", n, MaxExactCities)
+	}
+
+	const inf = math.MaxUint16
+	size := 1 << n
+	dp := make([]uint16, size*n)
+	parent := make([]int8, size*n)
+	for i := range dp {
+		dp[i] = inf
+	}
+	for v := 0; v < n; v++ {
+		dp[(1<<v)*n+v] = 0
+		parent[(1<<v)*n+v] = -1
+	}
+
+	// Precompute weights into a flat matrix for speed.
+	w := make([]uint16, n*n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				w[u*n+v] = uint16(in.Weight(u, v))
+			}
+		}
+	}
+
+	for s := 1; s < size; s++ {
+		base := s * n
+		for v := 0; v < n; v++ {
+			cur := dp[base+v]
+			if cur == inf || s&(1<<v) == 0 {
+				continue
+			}
+			for u := 0; u < n; u++ {
+				if s&(1<<u) != 0 {
+					continue
+				}
+				ns := s | 1<<u
+				cand := cur + w[v*n+u]
+				if cand < dp[ns*n+u] {
+					dp[ns*n+u] = cand
+					parent[ns*n+u] = int8(v)
+				}
+			}
+		}
+	}
+
+	full := size - 1
+	best, bestEnd := uint16(inf), -1
+	for v := 0; v < n; v++ {
+		if dp[full*n+v] < best {
+			best = dp[full*n+v]
+			bestEnd = v
+		}
+	}
+
+	// Reconstruct.
+	tour := make(Tour, 0, n)
+	s, v := full, bestEnd
+	for v != -1 {
+		tour = append(tour, v)
+		p := int(parent[s*n+v])
+		s &^= 1 << v
+		v = p
+	}
+	// Reverse into visit order.
+	for i, j := 0, len(tour)-1; i < j; i, j = i+1, j-1 {
+		tour[i], tour[j] = tour[j], tour[i]
+	}
+	return tour, int(best), nil
+}
+
+// BranchAndBound computes an optimal tour by depth-first search with
+// pruning. It extends Exact's reach for sparse good graphs (where the
+// jump lower bound prunes aggressively) but remains exponential in the
+// worst case. maxNodes caps the search; 0 means unlimited. If the cap is
+// hit it returns the best tour found plus ok=false.
+func BranchAndBound(in *Instance, maxNodes int64) (Tour, int, bool) {
+	n := in.N()
+	if n == 0 {
+		return Tour{}, 0, true
+	}
+	// Seed the incumbent with nearest neighbour so pruning bites early.
+	bestTour, bestCost := NearestNeighbor(in)
+	used := make([]bool, n)
+	path := make(Tour, 0, n)
+	var nodes int64
+	exhausted := true
+
+	// Remaining-deficit lower bound: each unvisited vertex still needs
+	// good incidences; recompute cheaply from static degrees. We use the
+	// simple bound remaining-steps >= #unvisited (each costs >= 1).
+	var dfs func(v, cost int)
+	dfs = func(v, cost int) {
+		nodes++
+		if maxNodes > 0 && nodes > maxNodes {
+			exhausted = false
+			return
+		}
+		if len(path) == n {
+			if cost < bestCost {
+				bestCost = cost
+				bestTour = append(bestTour[:0], path...)
+			}
+			return
+		}
+		if cost+(n-len(path)) >= bestCost {
+			return // even all-good completion cannot beat the incumbent
+		}
+		// Try good continuations first; they lead to cheap tours sooner.
+		for _, u := range in.Good.Neighbors(v) {
+			if !used[u] {
+				used[u] = true
+				path = append(path, u)
+				dfs(u, cost+1)
+				path = path[:len(path)-1]
+				used[u] = false
+			}
+		}
+		if cost+1+(n-len(path)) >= bestCost {
+			return // a jump plus all-good completion is already too costly
+		}
+		for u := 0; u < n; u++ {
+			if !used[u] && !in.Good.HasEdge(v, u) {
+				used[u] = true
+				path = append(path, u)
+				dfs(u, cost+2)
+				path = path[:len(path)-1]
+				used[u] = false
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		used[s] = true
+		path = append(path, s)
+		dfs(s, 0)
+		path = path[:0]
+		used[s] = false
+	}
+	return bestTour, bestCost, exhausted
+}
+
+// Solve returns an optimal tour using Exact when the instance fits and
+// BranchAndBound (unbounded) otherwise.
+func Solve(in *Instance) (Tour, int) {
+	if in.N() <= MaxExactCities {
+		t, c, err := Exact(in)
+		if err == nil {
+			return t, c
+		}
+	}
+	t, c, _ := BranchAndBound(in, 0)
+	return t, c
+}

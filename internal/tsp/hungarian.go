@@ -1,0 +1,196 @@
+package tsp
+
+import "fmt"
+
+// Hungarian solves the n x n assignment problem: given cost[i][j], find a
+// permutation p minimizing sum cost[i][p(i)]. Implementation is the
+// O(n³) potentials (Jonker–Volgenant style) shortest-augmenting-path
+// variant. It is the substrate for the Papadimitriou–Yannakakis cycle
+// cover: a minimum-cost assignment with an infinite diagonal is a
+// minimum-cost directed cycle cover.
+func Hungarian(cost [][]int64) ([]int, int64, error) {
+	n := len(cost)
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("tsp: cost row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+
+	const inf = int64(1) << 60
+	// 1-indexed potentials algorithm (the classic u/v/p/way formulation).
+	u := make([]int64, n+1)
+	v := make([]int64, n+1)
+	p := make([]int, n+1)   // p[j] = row assigned to column j (0 = none)
+	way := make([]int, n+1) // way[j] = previous column on the augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if delta == inf {
+				return nil, 0, fmt.Errorf("tsp: assignment infeasible (all remaining costs infinite)")
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	var total int64
+	for j := 1; j <= n; j++ {
+		assign[p[j]-1] = j - 1
+		total += cost[p[j]-1][j-1]
+	}
+	return assign, total, nil
+}
+
+// MinCycleCover computes a minimum-weight directed cycle cover of the
+// TSP(1,2) instance (every city has one successor, no fixed points) via
+// the assignment problem, and returns the cycles.
+func MinCycleCover(in *Instance) ([][]int, int, error) {
+	n := in.N()
+	if n < 2 {
+		return nil, 0, fmt.Errorf("tsp: cycle cover needs >= 2 cities")
+	}
+	const big = int64(1) << 40
+	cost := make([][]int64, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = big // forbid fixed points
+			} else {
+				cost[i][j] = int64(in.Weight(i, j))
+			}
+		}
+	}
+	next, total, err := Hungarian(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	seen := make([]bool, n)
+	var cycles [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var cyc []int
+		for v := s; !seen[v]; v = next[v] {
+			seen[v] = true
+			cyc = append(cyc, v)
+		}
+		cycles = append(cycles, cyc)
+	}
+	return cycles, int(total), nil
+}
+
+// CycleCoverTour is the Papadimitriou–Yannakakis-style TSP(1,2)
+// approximation the paper invokes for its 7/6 remark (§4, citing [12]):
+// compute a minimum-weight cycle cover, break each cycle at its most
+// expensive step, and stitch the resulting paths together, preferring
+// good edges at the seams. The full 7/6 analysis belongs to [12]; the
+// E14 experiment measures the achieved ratios against exact optima.
+func CycleCoverTour(in *Instance) (Tour, int, error) {
+	n := in.N()
+	switch n {
+	case 0:
+		return Tour{}, 0, nil
+	case 1:
+		return Tour{0}, 0, nil
+	}
+	cycles, _, err := MinCycleCover(in)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Break each cycle at its heaviest step, yielding one path per cycle.
+	paths := make([][]int, 0, len(cycles))
+	for _, cyc := range cycles {
+		if len(cyc) == 1 {
+			paths = append(paths, cyc)
+			continue
+		}
+		worst, worstAt := -1, 0
+		for k := range cyc {
+			w := in.Weight(cyc[k], cyc[(k+1)%len(cyc)])
+			if w > worst {
+				worst, worstAt = w, k
+			}
+		}
+		// Rotate so the broken step is at the end.
+		path := make([]int, 0, len(cyc))
+		for k := 1; k <= len(cyc); k++ {
+			path = append(path, cyc[(worstAt+k)%len(cyc)])
+		}
+		paths = append(paths, path)
+	}
+	// Stitch greedily: keep choosing the unused path whose head is
+	// cheapest to reach from the current tail (flipping paths when the
+	// reverse orientation is cheaper).
+	tour := append(Tour{}, paths[0]...)
+	used := make([]bool, len(paths))
+	used[0] = true
+	for remaining := len(paths) - 1; remaining > 0; remaining-- {
+		tail := tour[len(tour)-1]
+		best, bestCost, flip := -1, 3, false
+		for k, path := range paths {
+			if used[k] {
+				continue
+			}
+			if c := in.Weight(tail, path[0]); c < bestCost {
+				best, bestCost, flip = k, c, false
+			}
+			if c := in.Weight(tail, path[len(path)-1]); c < bestCost {
+				best, bestCost, flip = k, c, true
+			}
+		}
+		chosen := paths[best]
+		if flip {
+			for i, j := 0, len(chosen)-1; i < j; i, j = i+1, j-1 {
+				chosen[i], chosen[j] = chosen[j], chosen[i]
+			}
+		}
+		tour = append(tour, chosen...)
+		used[best] = true
+	}
+	return tour, in.Cost(tour), nil
+}

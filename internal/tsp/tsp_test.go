@@ -1,0 +1,300 @@
+package tsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"joinpebble/internal/graph"
+)
+
+// randConn returns a random connected graph on n vertices with a random
+// feasible edge count.
+func randConn(r *rand.Rand, n int) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	m := n - 1 + r.Intn(maxM-(n-1)+1)
+	return graph.RandomConnectedGraph(r, n, m, 0)
+}
+
+func pathInstance(n int) *Instance {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	return NewInstance(g)
+}
+
+func TestWeight(t *testing.T) {
+	in := pathInstance(3)
+	if in.Weight(0, 1) != 1 || in.Weight(0, 2) != 2 {
+		t.Fatal("weights wrong")
+	}
+}
+
+func TestCostAndJumps(t *testing.T) {
+	in := pathInstance(4)
+	if c := in.Cost(Tour{0, 1, 2, 3}); c != 3 {
+		t.Fatalf("all-good tour cost=%d want 3", c)
+	}
+	if c := in.Cost(Tour{1, 0, 2, 3}); c != 4 {
+		t.Fatalf("tour with 1 jump cost=%d want 1+2+1", c)
+	}
+	if j := in.Jumps(Tour{1, 0, 2, 3}); j != 1 {
+		t.Fatalf("jumps=%d want 1", j)
+	}
+	if j := in.Jumps(Tour{0, 2, 1, 3}); j != 2 {
+		t.Fatalf("jumps=%d want 2", j)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	in := pathInstance(3)
+	if err := in.Validate(Tour{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Tour{{0, 1}, {0, 1, 1}, {0, 1, 5}} {
+		if err := in.Validate(bad); err == nil {
+			t.Fatalf("tour %v should be invalid", bad)
+		}
+	}
+}
+
+func TestJumpLowerBoundLeafCounting(t *testing.T) {
+	// K_n plus n pendant leaves: the L(G_n) structure from Theorem 3.3.
+	// n leaves of degree 1 give 2J >= n - 2.
+	n := 6
+	g := graph.New(2 * n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, n+i)
+	}
+	in := NewInstance(g)
+	if lb := in.JumpLowerBound(); lb != (n-2+1)/2 {
+		t.Fatalf("jump lower bound=%d want %d", lb, (n-2+1)/2)
+	}
+}
+
+func TestJumpLowerBoundComponents(t *testing.T) {
+	// Two disjoint triangles: no degree deficit, but one inter-component
+	// jump is forced.
+	g := graph.New(6)
+	for _, tri := range [][3]int{{0, 1, 2}, {3, 4, 5}} {
+		g.AddEdge(tri[0], tri[1])
+		g.AddEdge(tri[1], tri[2])
+		g.AddEdge(tri[2], tri[0])
+	}
+	in := NewInstance(g)
+	if lb := in.JumpLowerBound(); lb != 1 {
+		t.Fatalf("component bound=%d want 1", lb)
+	}
+}
+
+func TestExactOnPath(t *testing.T) {
+	in := pathInstance(6)
+	tour, cost, err := Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5 {
+		t.Fatalf("path optimal cost=%d want n-1", cost)
+	}
+	if in.Cost(tour) != cost {
+		t.Fatal("reported cost disagrees with tour")
+	}
+}
+
+func TestExactOnMatchingGoodGraph(t *testing.T) {
+	// Good graph = 3 disjoint good edges over 6 cities: optimal tour uses
+	// all 3 good edges and 2 jumps: cost 3*1 + 2*2 = 7.
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	in := NewInstance(g)
+	_, cost, err := Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 7 {
+		t.Fatalf("cost=%d want 7", cost)
+	}
+}
+
+func TestExactMatchesBranchAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(6)
+		m := n - 1 + rng.Intn(n)
+		g := graph.RandomConnectedGraph(rng, n, m, 0)
+		in := NewInstance(g)
+		_, ce, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cb, ok := BranchAndBound(in, 0)
+		if !ok {
+			t.Fatal("unbounded BnB must exhaust")
+		}
+		if ce != cb {
+			t.Fatalf("trial %d: exact=%d bnb=%d on %v", trial, ce, cb, g)
+		}
+	}
+}
+
+func TestExactRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(7)
+		g := randConn(r, n)
+		in := NewInstance(g)
+		tour, cost, err := Exact(in)
+		if err != nil {
+			return false
+		}
+		if in.Validate(tour) != nil {
+			return false
+		}
+		return cost >= in.CostLowerBound() && cost <= in.CostUpperBound()
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactRejectsLargeInstance(t *testing.T) {
+	g := graph.New(MaxExactCities + 1)
+	for v := 1; v < g.N(); v++ {
+		g.AddEdge(v-1, v)
+	}
+	if _, _, err := Exact(NewInstance(g)); err == nil {
+		t.Fatal("oversized instance must be rejected")
+	}
+}
+
+func TestNearestNeighborValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(10)
+		g := randConn(rng, n)
+		in := NewInstance(g)
+		tour, cost := NearestNeighbor(in)
+		if err := in.Validate(tour); err != nil {
+			t.Fatal(err)
+		}
+		if in.Cost(tour) != cost {
+			t.Fatal("cost mismatch")
+		}
+		if cost > in.CostUpperBound() {
+			t.Fatalf("NN cost %d above universal bound %d", cost, in.CostUpperBound())
+		}
+	}
+}
+
+func TestNearestNeighborOptimalOnPath(t *testing.T) {
+	in := pathInstance(8)
+	_, cost := NearestNeighbor(in)
+	if cost != 7 {
+		t.Fatalf("NN on path: cost=%d want 7", cost)
+	}
+}
+
+func TestTwoOptImproves(t *testing.T) {
+	in := pathInstance(6)
+	bad := Tour{0, 2, 4, 1, 3, 5}
+	improved, cost := TwoOptImprove(in, bad)
+	if err := in.Validate(improved); err != nil {
+		t.Fatal(err)
+	}
+	if cost > in.Cost(bad) {
+		t.Fatal("2-opt made the tour worse")
+	}
+	if cost != 5 {
+		t.Fatalf("2-opt on path should reach optimum 5, got %d", cost)
+	}
+}
+
+func TestTwoOptNeverWorseThanInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(6)
+		g := randConn(r, n)
+		in := NewInstance(g)
+		start := Tour(r.Perm(n))
+		improved, cost := TwoOptImprove(in, start)
+		return in.Validate(improved) == nil && cost <= in.Cost(start)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyPathCoverValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		g := randConn(rng, n)
+		in := NewInstance(g)
+		tour, cost := GreedyPathCover(in)
+		if err := in.Validate(tour); err != nil {
+			t.Fatal(err)
+		}
+		if in.Cost(tour) != cost {
+			t.Fatal("cost mismatch")
+		}
+	}
+}
+
+func TestSolveSmallAndEmpty(t *testing.T) {
+	if tour, cost := Solve(NewInstance(graph.New(0))); len(tour) != 0 || cost != 0 {
+		t.Fatal("empty instance")
+	}
+	if tour, cost := Solve(NewInstance(graph.New(1))); len(tour) != 1 || cost != 0 {
+		t.Fatal("single city")
+	}
+	in := pathInstance(5)
+	if _, cost := Solve(in); cost != 4 {
+		t.Fatal("solve on path")
+	}
+}
+
+func TestHeldKarpAgainstBruteForceTiny(t *testing.T) {
+	// Exhaustive permutation check on all 4-city instances over a few
+	// random good graphs.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomBipartite(rng, 2, 2, 0.5).Graph()
+		in := NewInstance(g)
+		_, got, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 1 << 30
+		perm := []int{0, 1, 2, 3}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == 4 {
+				if c := in.Cost(perm); c < best {
+					best = c
+				}
+				return
+			}
+			for i := k; i < 4; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if got != best {
+			t.Fatalf("trial %d: held-karp=%d brute=%d", trial, got, best)
+		}
+	}
+}
