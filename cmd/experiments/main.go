@@ -1,27 +1,45 @@
 // Command experiments regenerates the per-claim verification tables
 // recorded in EXPERIMENTS.md — one experiment per theorem/lemma/figure
-// of the paper (E1..E15; see DESIGN.md for the index).
+// of the paper (E1..E19; see DESIGN.md for the index).
+//
+// Experiments are independent, so they run on a bounded worker pool
+// (-j, default GOMAXPROCS) while tables are printed strictly in registry
+// order — stdout is byte-identical to a sequential run. A per-experiment
+// wall-time table goes to stderr afterwards (suppress with -timing=false),
+// so piping -markdown output into EXPERIMENTS.md stays clean.
 //
 // Usage:
 //
 //	experiments               # run everything, aligned-text tables
 //	experiments -run E7,E11   # a subset
 //	experiments -markdown     # GitHub-flavored markdown (EXPERIMENTS.md body)
+//	experiments -j 4          # at most 4 experiments in flight
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"joinpebble/internal/bench"
 )
+
+type outcome struct {
+	table *bench.Table
+	err   error
+	wall  time.Duration
+}
 
 func main() {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	csv := flag.Bool("csv", false, "emit CSV (one table after another)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+	timing := flag.Bool("timing", true, "print per-experiment wall-time table to stderr")
 	flag.Parse()
 
 	var selected []bench.Experiment
@@ -38,29 +56,88 @@ func main() {
 		}
 	}
 
+	results := run(selected, *jobs)
+
 	failed := 0
-	for _, e := range selected {
-		table, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+	for i, e := range selected {
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, r.err)
 			failed++
 			continue
 		}
 		var renderErr error
 		switch {
 		case *markdown:
-			renderErr = table.Markdown(os.Stdout)
+			renderErr = r.table.Markdown(os.Stdout)
 		case *csv:
-			renderErr = table.CSV(os.Stdout)
+			renderErr = r.table.CSV(os.Stdout)
 		default:
-			renderErr = table.Render(os.Stdout)
+			renderErr = r.table.Render(os.Stdout)
 		}
 		if renderErr != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", renderErr)
 			os.Exit(1)
 		}
 	}
+	if *timing {
+		tt := &bench.Table{
+			ID:     "timing",
+			Title:  fmt.Sprintf("per-experiment wall time (-j %d)", *jobs),
+			Header: []string{"experiment", "wall"},
+		}
+		var total time.Duration
+		for i, e := range selected {
+			tt.AddRow(e.ID, results[i].wall.Round(time.Microsecond).String())
+			total += results[i].wall
+		}
+		tt.AddRow("total (cpu-serial)", total.Round(time.Microsecond).String())
+		if err := tt.Render(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// run executes the selected experiments on at most j workers and returns
+// their outcomes indexed like the input.
+func run(selected []bench.Experiment, j int) []outcome {
+	results := make([]outcome, len(selected))
+	if j < 1 {
+		j = 1
+	}
+	if j > len(selected) {
+		j = len(selected)
+	}
+	if j <= 1 {
+		for i, e := range selected {
+			results[i] = runOne(e)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < j; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(selected[i])
+			}
+		}()
+	}
+	for i := range selected {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func runOne(e bench.Experiment) outcome {
+	start := time.Now()
+	table, err := e.Run()
+	return outcome{table: table, err: err, wall: time.Since(start)}
 }

@@ -1,0 +1,249 @@
+package bench
+
+// PerfSuite pins the hot-path benchmarks that cmd/bench measures and
+// regression-checks. Every case exists in two arms selected by the legacy
+// flag: the "new" arm exercises the compact-index code paths (frozen CSR
+// lookups, implicit line-graph views, parallel component solving) and the
+// "legacy" arm the pre-optimization ones (map lookups, materialized
+// map-backed line graphs, sequential solving). Series names are identical
+// across arms so a legacy BENCH_*-legacy.json diffs cleanly against a
+// current one — that pair is the before/after evidence for the rewrite.
+//
+// Workloads are deterministic (fixed seeds, fixed families) so ns/op is
+// the only thing that varies between runs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/family"
+	"joinpebble/internal/graph"
+	"joinpebble/internal/solver"
+)
+
+// PerfCase is one pinned benchmark.
+type PerfCase struct {
+	// Name is the stable series identifier, "<operation>/<workload>".
+	Name string
+	// Run is the benchmark body.
+	Run func(b *testing.B)
+	// Extra holds workload-derived scalars recorded alongside the timing
+	// (solver cost ratios etc.); computed once at suite construction.
+	Extra map[string]float64
+}
+
+// seed for the random workloads. Changing it invalidates comparisons
+// against existing BENCH_*.json files, so don't.
+const perfSeed = 7
+
+func perfBipartite(nl, nr, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(perfSeed))
+	return graph.RandomConnectedBipartite(rng, nl, nr, m).Graph()
+}
+
+// multiComponent returns k disjoint copies of a random connected graph
+// with n vertices and m edges each.
+func multiComponent(k, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(perfSeed))
+	out := graph.New(0)
+	for i := 0; i < k; i++ {
+		out = graph.DisjointUnion(out, graph.RandomConnectedGraph(rng, n, m, 0))
+	}
+	return out
+}
+
+// solveArm configures the solver arm: sequential + materialized line
+// graphs for legacy, parallel + implicit views otherwise. It returns a
+// restore func for the package-level Parallelism knob.
+func solveArm(legacy bool) (solver.Approx125, func()) {
+	prev := solver.Parallelism
+	if legacy {
+		solver.Parallelism = 1
+	} else {
+		solver.Parallelism = 0
+	}
+	return solver.Approx125{Materialize: legacy}, func() { solver.Parallelism = prev }
+}
+
+// costRatio runs s once on g and returns π̂/m — recorded as a series Extra
+// so the perf arms are provably solving equally well, not just fast.
+func costRatio(s solver.Solver, g *graph.Graph) float64 {
+	_, cost, err := solver.SolveAndVerify(s, g.Clone())
+	if err != nil {
+		panic("bench: perf workload solver failed: " + err.Error())
+	}
+	return float64(cost) / float64(g.M())
+}
+
+// PerfSuite returns the pinned benchmark cases for one arm.
+func PerfSuite(legacy bool) []PerfCase {
+	spider := family.Spider(1000).Graph() // m = 2000, claw-free line graph
+	bip := perfBipartite(60, 40, 2400)    // dense bipartite, m = 2400
+	wide := perfBipartite(100, 100, 3000) // sparser bipartite, m = 3000
+	multi := multiComponent(8, 120, 300)  // 8 components, m = 2400 total
+	equi := func() *graph.Graph { // 12 complete-bipartite islands, m = 4800
+		out := graph.New(0)
+		for i := 0; i < 12; i++ {
+			out = graph.DisjointUnion(out, graph.CompleteBipartite(10, 40).Graph())
+		}
+		return out
+	}()
+
+	approxSpider, restore := solveArm(legacy)
+	ratioSpider := costRatio(approxSpider, spider)
+	ratioBip := costRatio(approxSpider, bip)
+	ratioEqui := costRatio(solver.Equijoin{}, equi)
+	restore()
+
+	// A long valid scheme for the simulate workload, fixed per arm.
+	simScheme, _, err := solver.SolveAndVerify(solver.Naive{}, bip.Clone())
+	if err != nil {
+		panic("bench: naive scheme failed: " + err.Error())
+	}
+
+	cases := []PerfCase{
+		{
+			Name: "linegraph/spider-1000-m2000",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g := spider.Clone()
+					if legacy {
+						graph.LineGraphReference(g)
+					} else {
+						graph.LineGraph(g)
+					}
+				}
+			},
+		},
+		{
+			Name: "linegraph/bip-60x40-m2400",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g := bip.Clone()
+					if legacy {
+						graph.LineGraphReference(g)
+					} else {
+						graph.LineGraph(g)
+					}
+				}
+			},
+		},
+		{
+			Name: "clawfree-linegraph/spider-1000-m2000",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g := spider.Clone()
+					var free bool
+					if legacy {
+						_, _, claw := graph.FindClaw(graph.LineGraphReference(g))
+						free = !claw
+					} else {
+						free = graph.ClawFreeLineGraph(g)
+					}
+					if !free {
+						b.Fatal("spider line graph must be claw-free")
+					}
+				}
+			},
+		},
+		{
+			Name:  "approx125/spider-1000-m2000",
+			Extra: map[string]float64{"cost_ratio": ratioSpider},
+			Run: func(b *testing.B) {
+				s, restore := solveArm(legacy)
+				defer restore()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(spider.Clone()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "approx125/bip-60x40-m2400",
+			Extra: map[string]float64{"cost_ratio": ratioBip},
+			Run: func(b *testing.B) {
+				s, restore := solveArm(legacy)
+				defer restore()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(bip.Clone()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "solve-multicomponent/approx125-8x300",
+			Extra: map[string]float64{"components": 8},
+			Run: func(b *testing.B) {
+				s, restore := solveArm(legacy)
+				defer restore()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(multi.Clone()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "equijoin/islands-12xK10-40-m4800",
+			Extra: map[string]float64{"cost_ratio": ratioEqui},
+			Run: func(b *testing.B) {
+				_, restore := solveArm(legacy)
+				defer restore()
+				s := solver.Equijoin{}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(equi.Clone()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "simulate/bip-60x40-m2400",
+			Run: func(b *testing.B) {
+				// Preparation differs by design: frozen CSR vs plain map
+				// graph. Simulating is the repeated operation, so only it
+				// is timed.
+				g := bip.Clone()
+				if !legacy {
+					g.Freeze()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Simulate(g, simScheme)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Complete() {
+						b.Fatal("scheme must delete every edge")
+					}
+				}
+			},
+		},
+		{
+			Name: "hasedge/bip-100x100-m3000",
+			Run: func(b *testing.B) {
+				g := wide.Clone()
+				if !legacy {
+					g.Freeze()
+				}
+				n := g.N()
+				b.ResetTimer()
+				hits := 0
+				for i := 0; i < b.N; i++ {
+					if g.HasEdge(i%n, (i*31+7)%n) {
+						hits++
+					}
+				}
+				_ = hits
+			},
+		},
+	}
+	return cases
+}

@@ -86,8 +86,16 @@ func (r *Result) Complete() bool { return r.DeletedCount == len(r.Deleted) }
 // It returns an error if the scheme is structurally invalid: a pebble
 // outside the vertex range, or a transition that moves both pebbles (the
 // game allows one pebble move at a time).
+//
+// The inner loop is one EdgeIndex probe per configuration; on a frozen
+// (or Optimize'd) graph that probe is an allocation-free binary search
+// instead of a map lookup, so callers simulating long schemes should
+// freeze the graph first.
 func Simulate(g *graph.Graph, s Scheme) (*Result, error) {
-	res := &Result{Deleted: make([]bool, g.M())}
+	res := &Result{
+		Deleted:   make([]bool, g.M()),
+		EdgeOrder: make([]int, 0, g.M()),
+	}
 	for i, c := range s {
 		if c.A < 0 || c.A >= g.N() || c.B < 0 || c.B >= g.N() {
 			return nil, fmt.Errorf("core: config %d %v out of vertex range [0,%d)", i, c, g.N())

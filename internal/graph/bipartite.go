@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Bipartite is a bipartite graph G = (R, S, E) in the paper's sense: the
 // join graph of two relations. Left vertices model tuples of R, right
@@ -94,15 +97,17 @@ func (b *Bipartite) Clone() *Bipartite {
 
 // String renders edges as l-r pairs in (left,right) index space.
 func (b *Bipartite) String() string {
-	s := fmt.Sprintf("bipartite{%dx%d m=%d [", b.nLeft, b.nRight, b.M())
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bipartite{%dx%d m=%d [", b.nLeft, b.nRight, b.M())
 	for i := 0; i < b.M(); i++ {
 		l, r := b.EdgeAt(i)
 		if i > 0 {
-			s += " "
+			sb.WriteByte(' ')
 		}
-		s += fmt.Sprintf("%d-%d", l, r)
+		fmt.Fprintf(&sb, "%d-%d", l, r)
 	}
-	return s + "]}"
+	sb.WriteString("]}")
+	return sb.String()
 }
 
 func (b *Bipartite) checkLeft(l int) {

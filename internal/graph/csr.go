@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// csr is the compact adjacency representation behind Freeze: flat
+// prefix-offset arrays in the style of compressed sparse rows. It turns
+// HasEdge/EdgeIndex into a binary search over the sorted neighbor span of
+// the lower-degree endpoint and IncidentEdges/Neighbors into zero-copy
+// subslices, replacing the map[Edge]int hash per adjacency test and the
+// per-call slice allocation of the mutable representation.
+type csr struct {
+	start      []int // n+1 prefix offsets; vertex v owns slots start[v]:start[v+1]
+	vert       []int // neighbor vertex per slot, in edge-insertion order
+	edge       []int // incident edge index per slot, parallel to vert
+	sortedVert []int // neighbor vertex per slot, sorted ascending within each vertex span
+	sortedEdge []int // edge index per slot, parallel to sortedVert
+}
+
+// buildCSR constructs the compact representation from an edge list. The
+// insertion-order spans (vert/edge) reproduce the adjacency-list order
+// exactly: a vertex's neighbors appear in increasing edge-index order,
+// which is how AddEdge grows adj.
+func buildCSR(n int, edges []Edge) *csr {
+	c := &csr{start: make([]int, n+1)}
+	for _, e := range edges {
+		c.start[e.U+1]++
+		c.start[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.start[v+1] += c.start[v]
+	}
+	slots := 2 * len(edges)
+	c.vert = make([]int, slots)
+	c.edge = make([]int, slots)
+	cur := make([]int, n)
+	copy(cur, c.start[:n])
+	for i, e := range edges {
+		c.vert[cur[e.U]], c.edge[cur[e.U]] = e.V, i
+		cur[e.U]++
+		c.vert[cur[e.V]], c.edge[cur[e.V]] = e.U, i
+		cur[e.V]++
+	}
+	c.sortedVert = append([]int(nil), c.vert...)
+	c.sortedEdge = append([]int(nil), c.edge...)
+	for v := 0; v < n; v++ {
+		lo, hi := c.start[v], c.start[v+1]
+		if hi-lo > 1 {
+			sortSpan(c.sortedVert[lo:hi], c.sortedEdge[lo:hi])
+		}
+	}
+	return c
+}
+
+// sortSpan sorts verts ascending, permuting edges in lockstep. Spans are
+// neighbor lists, so small ones dominate; insertion sort covers those
+// without the interface overhead of the generic sort.
+func sortSpan(verts, edges []int) {
+	if len(verts) <= 24 {
+		for i := 1; i < len(verts); i++ {
+			v, e := verts[i], edges[i]
+			j := i - 1
+			for j >= 0 && verts[j] > v {
+				verts[j+1], edges[j+1] = verts[j], edges[j]
+				j--
+			}
+			verts[j+1], edges[j+1] = v, e
+		}
+		return
+	}
+	sort.Sort(&spanSorter{verts, edges})
+}
+
+type spanSorter struct {
+	verts, edges []int
+}
+
+func (s *spanSorter) Len() int           { return len(s.verts) }
+func (s *spanSorter) Less(i, j int) bool { return s.verts[i] < s.verts[j] }
+func (s *spanSorter) Swap(i, j int) {
+	s.verts[i], s.verts[j] = s.verts[j], s.verts[i]
+	s.edges[i], s.edges[j] = s.edges[j], s.edges[i]
+}
+
+// lookup returns the edge index of {u,v} by binary search over the sorted
+// neighbor span of the lower-degree endpoint.
+func (c *csr) lookup(u, v int) (int, bool) {
+	if c.start[u+1]-c.start[u] > c.start[v+1]-c.start[v] {
+		u, v = v, u
+	}
+	lo, hi := c.start[u], c.start[u+1]
+	// Short spans: a linear scan beats the branch mispredictions of a
+	// binary search.
+	if hi-lo <= 8 {
+		for k := lo; k < hi; k++ {
+			if c.sortedVert[k] == v {
+				return c.sortedEdge[k], true
+			}
+		}
+		return 0, false
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.sortedVert[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.start[u+1] && c.sortedVert[lo] == v {
+		return c.sortedEdge[lo], true
+	}
+	return 0, false
+}
+
+// ensureCSR returns the compact representation, building it on first use.
+// The build is guarded by a mutex so concurrent readers of an already-
+// frozen graph are safe; mutating an unfrozen graph concurrently with
+// reads remains undefined, as for every other Graph method.
+func (g *Graph) ensureCSR() *csr {
+	g.csrMu.Lock()
+	c := g.csr
+	if c == nil {
+		c = buildCSR(g.n, g.edges)
+		g.csr = c
+	}
+	g.csrMu.Unlock()
+	return c
+}
+
+// Freeze builds the compact sorted-adjacency representation and marks the
+// graph immutable: any later AddEdge or AddVertex panics. After Freeze,
+// HasEdge and EdgeIndex are allocation-free binary searches, Neighbors and
+// IncidentEdges return zero-copy views, and the graph is safe for
+// concurrent readers. Freeze is idempotent and returns g for chaining.
+func (g *Graph) Freeze() *Graph {
+	g.ensureCSR()
+	g.frozen = true
+	return g
+}
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Optimize builds the same compact index Freeze uses but keeps the graph
+// mutable: a later AddEdge or AddVertex simply discards the index. Bulk
+// read-mostly operations (solving, simulation, line-graph walks) call it
+// to amortize one O(m log m) build across many adjacency tests.
+func (g *Graph) Optimize() *Graph {
+	g.ensureCSR()
+	return g
+}
+
+// invalidateCSR drops the compact index after a mutation; it panics if
+// the graph was frozen.
+func (g *Graph) invalidateCSR(op string) {
+	if g.frozen {
+		panic(fmt.Sprintf("graph: %s on frozen graph", op))
+	}
+	if g.csr != nil {
+		g.csr = nil
+	}
+}

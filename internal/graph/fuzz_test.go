@@ -5,6 +5,50 @@ import (
 	"testing"
 )
 
+// FuzzCSRDifferential feeds arbitrary edge lists to a map-backed graph
+// and its compact-index twin and requires identical answers from every
+// read accessor. Bytes are consumed pairwise as endpoints modulo n.
+func FuzzCSRDifferential(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(6), []byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 1, 2})
+	f.Fuzz(func(t *testing.T, n uint8, data []byte) {
+		if n == 0 || n > 32 || len(data) > 256 {
+			return
+		}
+		plain := New(int(n))
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int(data[i])%int(n), int(data[i+1])%int(n)
+			if u == v || plain.HasEdge(u, v) {
+				continue
+			}
+			plain.AddEdge(u, v)
+		}
+		idx := plain.Clone().Freeze()
+		for u := 0; u < plain.N(); u++ {
+			if idx.Degree(u) != plain.Degree(u) {
+				t.Fatalf("Degree(%d): csr %d, map %d", u, idx.Degree(u), plain.Degree(u))
+			}
+			if !equalInts(idx.Neighbors(u), plain.Neighbors(u)) {
+				t.Fatalf("Neighbors(%d): csr %v, map %v", u, idx.Neighbors(u), plain.Neighbors(u))
+			}
+			if !equalInts(idx.IncidentEdges(u), plain.IncidentEdges(u)) {
+				t.Fatalf("IncidentEdges(%d): csr %v, map %v", u, idx.IncidentEdges(u), plain.IncidentEdges(u))
+			}
+			for v := 0; v < plain.N(); v++ {
+				gi, gok := idx.EdgeIndex(u, v)
+				wi, wok := plain.EdgeIndex(u, v)
+				if gi != wi || gok != wok {
+					t.Fatalf("EdgeIndex(%d,%d): csr %d,%v, map %d,%v", u, v, gi, gok, wi, wok)
+				}
+				if idx.HasEdge(u, v) != plain.HasEdge(u, v) {
+					t.Fatalf("HasEdge(%d,%d) disagrees", u, v)
+				}
+			}
+		}
+	})
+}
+
 // FuzzRead checks the text-format parser never panics and that anything
 // it accepts re-serializes to something it accepts again with the same
 // shape.

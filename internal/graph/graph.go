@@ -11,6 +11,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // Edge is an undirected edge between vertices U and V. Invariant: U <= V
@@ -47,11 +49,23 @@ func (e Edge) SharesEndpoint(f Edge) bool {
 // Graph is a simple undirected graph with a fixed vertex count and a
 // deduplicated, insertion-ordered edge list. The zero value is an empty
 // graph with no vertices; use New to create one with vertices.
+//
+// Graphs have two representations. The mutable one — adjacency lists plus
+// a map[Edge]int — supports AddEdge/AddVertex. Freeze (or, internally,
+// Optimize) additionally builds a compact CSR-style index that turns the
+// adjacency tests and incident-edge queries on the hot paths (line-graph
+// construction, claw search, scheme simulation) into allocation-free
+// array reads. A frozen graph rejects mutation and is safe for concurrent
+// readers.
 type Graph struct {
 	n     int
 	edges []Edge
-	index map[Edge]int // normalized edge -> position in edges
+	index map[Edge]int // normalized edge -> position in edges; nil for graphs built frozen
 	adj   [][]int      // adjacency lists (neighbor vertex ids)
+
+	csrMu  sync.Mutex // guards lazy construction of csr
+	csr    *csr       // compact index; nil until Freeze/Optimize
+	frozen bool       // mutation disabled once set
 }
 
 // New returns an empty graph on n vertices.
@@ -81,8 +95,10 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.edges) }
 
-// AddVertex appends a fresh vertex and returns its id.
+// AddVertex appends a fresh vertex and returns its id. It panics if the
+// graph is frozen.
 func (g *Graph) AddVertex() int {
+	g.invalidateCSR("AddVertex")
 	g.adj = append(g.adj, nil)
 	g.n++
 	return g.n - 1
@@ -91,11 +107,13 @@ func (g *Graph) AddVertex() int {
 // AddEdge inserts the undirected edge {u,v} and returns its edge index.
 // Inserting an existing edge returns the original index without
 // duplicating it. Self-loops are rejected: the pebble game and all join
-// graphs in the paper are simple graphs.
+// graphs in the paper are simple graphs. AddEdge panics if the graph is
+// frozen.
 func (g *Graph) AddEdge(u, v int) int {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
 	}
+	g.invalidateCSR("AddEdge")
 	g.checkVertex(u)
 	g.checkVertex(v)
 	e := Edge{U: u, V: v}.Normalize()
@@ -110,19 +128,32 @@ func (g *Graph) AddEdge(u, v int) int {
 	return i
 }
 
-// HasEdge reports whether {u,v} is an edge of g.
+// HasEdge reports whether {u,v} is an edge of g. On a frozen or optimized
+// graph this is a binary search over the sorted neighbor span of the
+// lower-degree endpoint; otherwise a map lookup.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
 		return false
+	}
+	if c := g.csr; c != nil {
+		_, ok := c.lookup(u, v)
+		return ok
 	}
 	_, ok := g.index[Edge{U: u, V: v}.Normalize()]
 	return ok
 }
 
-// EdgeIndex returns the index of edge {u,v} and whether it exists.
+// EdgeIndex returns the index of edge {u,v} and whether it exists. Like
+// HasEdge it takes the compact-index path on frozen/optimized graphs.
 func (g *Graph) EdgeIndex(u, v int) (int, bool) {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return 0, false
+	}
+	if c := g.csr; c != nil {
+		if u == v {
+			return 0, false
+		}
+		return c.lookup(u, v)
 	}
 	i, ok := g.index[Edge{U: u, V: v}.Normalize()]
 	return i, ok
@@ -162,13 +193,20 @@ func (g *Graph) MaxDegree() int {
 	return d
 }
 
-// IncidentEdges returns the indices of edges incident to v.
+// IncidentEdges returns the indices of edges incident to v, in increasing
+// edge-index order. On a frozen or optimized graph the returned slice is
+// a zero-copy view owned by the graph and must not be mutated (it sits
+// inside LineGraph's inner loop, where the former per-call allocation
+// dominated); otherwise it is freshly allocated.
 func (g *Graph) IncidentEdges(v int) []int {
 	g.checkVertex(v)
+	if c := g.csr; c != nil {
+		lo, hi := c.start[v], c.start[v+1]
+		return c.edge[lo:hi:hi]
+	}
 	out := make([]int, 0, len(g.adj[v]))
 	for _, u := range g.adj[v] {
-		i, _ := g.index[Edge{U: u, V: v}.Normalize()], true
-		out = append(out, i)
+		out = append(out, g.index[Edge{U: u, V: v}.Normalize()])
 	}
 	return out
 }
@@ -237,8 +275,8 @@ func (g *Graph) Equal(h *Graph) bool {
 	if g.n != h.n || len(g.edges) != len(h.edges) {
 		return false
 	}
-	for e := range g.index {
-		if _, ok := h.index[e]; !ok {
+	for _, e := range g.edges {
+		if !h.HasEdge(e.U, e.V) {
 			return false
 		}
 	}
@@ -257,14 +295,16 @@ func (g *Graph) DegreeSequence() []int {
 
 // String renders a compact description, e.g. "graph{n=4 m=3 [0-1 1-2 2-3]}".
 func (g *Graph) String() string {
-	s := fmt.Sprintf("graph{n=%d m=%d [", g.n, len(g.edges))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph{n=%d m=%d [", g.n, len(g.edges))
 	for i, e := range g.edges {
 		if i > 0 {
-			s += " "
+			sb.WriteByte(' ')
 		}
-		s += fmt.Sprintf("%d-%d", e.U, e.V)
+		fmt.Fprintf(&sb, "%d-%d", e.U, e.V)
 	}
-	return s + "]}"
+	sb.WriteString("]}")
+	return sb.String()
 }
 
 func (g *Graph) checkVertex(v int) {

@@ -5,11 +5,69 @@ package graph
 // underlying edges share an endpoint (§2.2). Pebbling schemes for g
 // correspond to walks over L(G)'s vertices; perfect schemes are
 // Hamiltonian paths (Proposition 2.1).
+//
+// The result is returned frozen: edge counts and adjacency spans are
+// precomputed from g's compact index, so construction is a single pass
+// with no hashing or incremental reallocation. Edge and neighbor order
+// are identical to LineGraphReference. Callers that only need to walk
+// L(G) neighborhoods should prefer NewLineGraphView, which skips
+// materialization entirely.
 func LineGraph(g *Graph) *Graph {
+	c := g.ensureCSR()
 	m := g.M()
-	lg := New(m)
+	// deg_L(i) = deg(u) + deg(v) − 2 for edge i = {u,v}; duplicates are
+	// impossible because two distinct simple edges share at most one
+	// endpoint, so each L-edge is generated exactly once (at the shared
+	// endpoint).
+	degL := make([]int, m)
+	total := 0
+	for i := 0; i < m; i++ {
+		e := g.edges[i]
+		d := (c.start[e.U+1] - c.start[e.U]) + (c.start[e.V+1] - c.start[e.V]) - 2
+		degL[i] = d
+		total += d
+	}
+	total /= 2
+	lg := &Graph{
+		n:     m,
+		edges: make([]Edge, 0, total),
+		adj:   make([][]int, m),
+	}
+	// Carve all adjacency lists out of one backing array; the capacities
+	// are exact, so the appends below never reallocate or overlap.
+	flat := make([]int, 2*total)
+	off := 0
+	for i := 0; i < m; i++ {
+		lg.adj[i] = flat[off:off:off+degL[i]]
+		off += degL[i]
+	}
 	// For each vertex, all incident edges are pairwise adjacent in L(G);
 	// iterate per vertex to get O(sum deg^2) without an edge-pair scan.
+	for v := 0; v < g.n; v++ {
+		span := c.edge[c.start[v]:c.start[v+1]]
+		for x := 0; x < len(span); x++ {
+			a := span[x]
+			for y := x + 1; y < len(span); y++ {
+				b := span[y]
+				lg.edges = append(lg.edges, Edge{U: a, V: b}.Normalize())
+				lg.adj[a] = append(lg.adj[a], b)
+				lg.adj[b] = append(lg.adj[b], a)
+			}
+		}
+	}
+	lg.csr = buildCSR(lg.n, lg.edges)
+	lg.frozen = true
+	return lg
+}
+
+// LineGraphReference is the straightforward map-backed line-graph
+// construction. It is the oracle the differential tests compare LineGraph
+// and LineGraphView against, and the legacy arm of cmd/bench's
+// before/after measurements; production code should use LineGraph or
+// NewLineGraphView.
+func LineGraphReference(g *Graph) *Graph {
+	m := g.M()
+	lg := New(m)
 	for v := 0; v < g.N(); v++ {
 		inc := g.IncidentEdges(v)
 		for i := 0; i < len(inc); i++ {
@@ -38,18 +96,27 @@ func IncidenceGraph(g *Graph) *Bipartite {
 // the three leaves, or ok=false if g is claw-free. Line graphs are always
 // claw-free (Harary), which Theorem 3.1's DFS construction depends on.
 func FindClaw(g *Graph) (center int, leaves [3]int, ok bool) {
-	for v := 0; v < g.N(); v++ {
-		nb := g.Neighbors(v)
-		if len(nb) < 3 {
+	g.ensureCSR() // adjacency tests below become binary searches
+	return FindClawIn(g)
+}
+
+// FindClawIn is FindClaw over any Adjacency — in particular a
+// LineGraphView, which lets claw checks walk L(G) without materializing
+// it.
+func FindClawIn(a Adjacency) (center int, leaves [3]int, ok bool) {
+	var nb []int
+	for v := 0; v < a.N(); v++ {
+		if a.Degree(v) < 3 {
 			continue
 		}
+		nb = a.AppendNeighbors(nb[:0], v)
 		for i := 0; i < len(nb); i++ {
 			for j := i + 1; j < len(nb); j++ {
-				if g.HasEdge(nb[i], nb[j]) {
+				if a.HasEdge(nb[i], nb[j]) {
 					continue
 				}
 				for k := j + 1; k < len(nb); k++ {
-					if !g.HasEdge(nb[i], nb[k]) && !g.HasEdge(nb[j], nb[k]) {
+					if !a.HasEdge(nb[i], nb[k]) && !a.HasEdge(nb[j], nb[k]) {
 						return v, [3]int{nb[i], nb[j], nb[k]}, true
 					}
 				}
@@ -62,6 +129,13 @@ func FindClaw(g *Graph) (center int, leaves [3]int, ok bool) {
 // ClawFree reports whether g contains no induced K_{1,3}.
 func ClawFree(g *Graph) bool {
 	_, _, ok := FindClaw(g)
+	return !ok
+}
+
+// ClawFreeLineGraph reports whether L(g) is claw-free, walking the
+// implicit view instead of materializing the line graph.
+func ClawFreeLineGraph(g *Graph) bool {
+	_, _, ok := FindClawIn(NewLineGraphView(g))
 	return !ok
 }
 

@@ -39,10 +39,15 @@ func (g *Graph) bfsFrom(s int, seen []bool) []int {
 	seen[s] = true
 	queue := []int{s}
 	comp := []int{s}
+	c := g.csr // walk the flat spans when the compact index is built
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		nbs := g.adj[v]
+		if c != nil {
+			nbs = c.vert[c.start[v]:c.start[v+1]]
+		}
+		for _, w := range nbs {
 			if !seen[w] {
 				seen[w] = true
 				queue = append(queue, w)

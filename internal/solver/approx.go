@@ -37,6 +37,14 @@ type Approx125 struct {
 	// be a path and the construction legitimately fails on some inputs
 	// (Solve returns an error); never set it outside experiments.
 	SkipTwinElimination bool
+
+	// Materialize makes the construction run over an explicitly built
+	// map-backed line graph (graph.LineGraphReference) instead of the
+	// implicit graph.LineGraphView. The view is strictly cheaper — it
+	// avoids the O(Σ deg²) line-graph edge set entirely — so this knob
+	// exists only for differential tests and the legacy arm of
+	// cmd/bench's before/after measurements.
+	Materialize bool
 }
 
 // Name implements Solver.
@@ -50,12 +58,17 @@ func (a Approx125) Name() string {
 // Solve implements Solver.
 func (a Approx125) Solve(g *graph.Graph) (core.Scheme, error) {
 	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
-		return approxComponentOrder(cg, a.SkipTwinElimination)
+		return approxComponentOrder(cg, a.SkipTwinElimination, a.Materialize)
 	})
 }
 
-func approxComponentOrder(cg *graph.Graph, skipTwins bool) ([]int, error) {
-	lg := graph.LineGraph(cg)
+func approxComponentOrder(cg *graph.Graph, skipTwins, materialize bool) ([]int, error) {
+	var lg graph.Adjacency
+	if materialize {
+		lg = graph.LineGraphReference(cg)
+	} else {
+		lg = graph.NewLineGraphView(cg)
+	}
 	pieces, err := pathPartition(lg, skipTwins)
 	if err != nil {
 		return nil, err
@@ -77,7 +90,7 @@ func approxComponentOrder(cg *graph.Graph, skipTwins bool) ([]int, error) {
 
 // pathPartition splits the vertices of a connected claw-free graph lg
 // into vertex-disjoint paths, all of size >= 4 except possibly the last.
-func pathPartition(lg *graph.Graph, skipTwins bool) ([][]int, error) {
+func pathPartition(lg graph.Adjacency, skipTwins bool) ([][]int, error) {
 	alive := make([]bool, lg.N())
 	aliveCount := lg.N()
 	var root int
@@ -85,6 +98,7 @@ func pathPartition(lg *graph.Graph, skipTwins bool) ([][]int, error) {
 		alive[v] = true
 	}
 	var pieces [][]int
+	var arena []int // reused neighbor scratch across tree rebuilds
 	for aliveCount > 0 {
 		// Locate any alive vertex to root the DFS.
 		root = -1
@@ -102,7 +116,8 @@ func pathPartition(lg *graph.Graph, skipTwins bool) ([][]int, error) {
 			pieces = append(pieces, path)
 			break
 		}
-		t := newSpanningTree(lg, alive, root)
+		var t *spanningTree
+		t, arena = newSpanningTree(lg, alive, root, arena)
 		if !skipTwins {
 			if err := t.eliminateTwins(); err != nil {
 				return nil, err
@@ -125,14 +140,18 @@ func pathPartition(lg *graph.Graph, skipTwins bool) ([][]int, error) {
 // spanningTree is a rooted spanning tree over the alive vertices of lg,
 // mutable by the twin-elimination re-hanging.
 type spanningTree struct {
-	lg       *graph.Graph
+	lg       graph.Adjacency
 	root     int
 	parent   []int   // -1 root, -2 not in tree
 	children [][]int // child lists
 }
 
-// newSpanningTree runs DFS over alive vertices from root.
-func newSpanningTree(lg *graph.Graph, alive []bool, root int) *spanningTree {
+// newSpanningTree runs DFS over alive vertices from root. Neighborhoods
+// are enumerated through the Adjacency interface into an arena that
+// follows the DFS stack discipline (a frame's span is truncated on pop),
+// so walking an implicit line-graph view allocates no per-frame slices.
+// The arena is returned for reuse by the next rebuild.
+func newSpanningTree(lg graph.Adjacency, alive []bool, root int, arena []int) (*spanningTree, []int) {
 	t := &spanningTree{
 		lg:       lg,
 		root:     root,
@@ -143,27 +162,31 @@ func newSpanningTree(lg *graph.Graph, alive []bool, root int) *spanningTree {
 		t.parent[i] = -2
 	}
 	t.parent[root] = -1
-	type frame struct{ v, next int }
-	stack := []frame{{v: root}}
+	type frame struct{ v, base, end, next int }
+	arena = lg.AppendNeighbors(arena[:0], root)
+	stack := []frame{{v: root, base: 0, end: len(arena), next: 0}}
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		advanced := false
-		for f.next < len(lg.Neighbors(f.v)) {
-			w := lg.Neighbors(f.v)[f.next]
+		for f.next < f.end {
+			w := arena[f.next]
 			f.next++
 			if alive[w] && t.parent[w] == -2 {
 				t.parent[w] = f.v
 				t.children[f.v] = append(t.children[f.v], w)
-				stack = append(stack, frame{v: w})
+				base := len(arena)
+				arena = lg.AppendNeighbors(arena, w)
+				stack = append(stack, frame{v: w, base: base, end: len(arena), next: base})
 				advanced = true
 				break
 			}
 		}
 		if !advanced {
+			arena = arena[:f.base]
 			stack = stack[:len(stack)-1]
 		}
 	}
-	return t
+	return t, arena
 }
 
 func (t *spanningTree) inTree(v int) bool { return t.parent[v] != -2 }
@@ -339,7 +362,7 @@ func (t *spanningTree) subtreeAsPath(r int) ([]int, error) {
 // hamPathSmall finds a Hamiltonian path over the <= 3 alive vertices
 // (any connected graph on at most 3 vertices has one), starting the
 // search at root's component.
-func hamPathSmall(lg *graph.Graph, alive []bool, count, root int) ([]int, bool) {
+func hamPathSmall(lg graph.Adjacency, alive []bool, count, root int) ([]int, bool) {
 	var verts []int
 	for v := 0; v < lg.N(); v++ {
 		if alive[v] {

@@ -1,0 +1,93 @@
+package solver
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/graph"
+)
+
+// multiComponentGraph builds k random connected components glued into one
+// graph, shuffling edge insertion so component edges interleave globally.
+func multiComponentGraph(rng *rand.Rand, k int) *graph.Graph {
+	type edge struct{ u, v int }
+	var edges []edge
+	base := 0
+	for c := 0; c < k; c++ {
+		n := 3 + rng.Intn(10)
+		m := n - 1 + rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		cg := graph.RandomConnectedGraph(rng, n, m, 0)
+		for _, e := range cg.Edges() {
+			edges = append(edges, edge{base + e.U, base + e.V})
+		}
+		base += n
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	g := graph.New(base)
+	for _, e := range edges {
+		g.AddEdge(e.u, e.v)
+	}
+	return g
+}
+
+// TestParallelSolveMatchesSequential locks in the determinism contract of
+// solvePerComponent: any Parallelism setting yields the exact same scheme.
+func TestParallelSolveMatchesSequential(t *testing.T) {
+	defer func(p int) { Parallelism = p }(Parallelism)
+	rng := rand.New(rand.NewSource(23))
+	solvers := []Solver{Naive{}, Greedy{}, Approx125{}}
+	for trial := 0; trial < 6; trial++ {
+		g := multiComponentGraph(rng, 2+trial)
+		for _, s := range solvers {
+			var want core.Scheme
+			for _, par := range []int{1, 2, 7, 0} {
+				Parallelism = par
+				got, cost, err := SolveAndVerify(s, g.Clone())
+				if err != nil {
+					t.Fatalf("trial %d %s parallelism=%d: %v", trial, s.Name(), par, err)
+				}
+				if par == 1 {
+					want = got
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d %s: parallelism=%d scheme differs from sequential", trial, s.Name(), par)
+				}
+				_ = cost
+			}
+		}
+	}
+}
+
+// TestMaterializedMatchesView checks the legacy materialized arm and the
+// implicit-view default both produce valid schemes within the Theorem 3.1
+// bound on the same inputs. (Exact cost equality is not required — the
+// two adjacency representations enumerate neighbors in different orders,
+// so the DFS may strip different, equally bounded path partitions.)
+func TestMaterializedMatchesView(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 5; trial++ {
+		g := multiComponentGraph(rng, 1+trial)
+		m := g.M()
+		beta := core.Betti0(g)
+		bound := m + (m-1)/4 + beta // Σ per-component 1.25m bounds is ≤ this
+		for _, s := range []Solver{Approx125{}, Approx125{Materialize: true}} {
+			name := "view"
+			if s.(Approx125).Materialize {
+				name = "materialized"
+			}
+			_, cost, err := SolveAndVerify(s, g.Clone())
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if cost > bound {
+				t.Fatalf("trial %d %s: cost %d exceeds 1.25-bound %d (m=%d, β₀=%d)", trial, name, cost, bound, m, beta)
+			}
+		}
+	}
+}

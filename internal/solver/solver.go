@@ -8,10 +8,32 @@ package solver
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
 )
+
+// Parallelism bounds the worker pool that solvePerComponent fans
+// connected components out over. Zero (the default) means
+// runtime.GOMAXPROCS(0); one forces the sequential path. Components are
+// solved independently — justified by the additivity lemma (Lemma 2.2) —
+// and merged back in component order, so the produced scheme is
+// byte-identical to the sequential one at any setting (verified by
+// TestParallelSolveMatchesSequential).
+var Parallelism = 0
+
+func workerCount(jobs int) int {
+	w := Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
 
 // Solver produces a pebbling scheme for an arbitrary graph. Solve must
 // return a scheme that Verify accepts; cost guarantees differ per solver.
@@ -31,14 +53,33 @@ type connectedOrderFunc func(cg *graph.Graph) ([]int, error)
 // each edge-bearing component, stitches the local orders back into a
 // global edge order, and converts it to a scheme. Component boundaries
 // cost one extra move each, matching the β₀ term of Definition 2.2.
+//
+// Components are embarrassingly parallel (Lemma 2.2): fn runs on a
+// bounded worker pool (see Parallelism) and the local orders are merged
+// back in component order, so the result is independent of scheduling.
 func solvePerComponent(g *graph.Graph, fn connectedOrderFunc) (core.Scheme, error) {
 	if g.M() == 0 {
 		return core.Scheme{}, nil
 	}
+	g.Optimize() // one compact-index build serves every lookup below
+	comps := g.Components()
+
+	// Fast path: a single component spanning every vertex is already its
+	// own dense-id subgraph; skip the copy.
+	if len(comps) == 1 {
+		order, err := fn(g)
+		if err != nil {
+			return nil, err
+		}
+		if len(order) != g.M() {
+			return nil, fmt.Errorf("solver: component order covers %d of %d edges", len(order), g.M())
+		}
+		return core.SchemeFromEdgeOrder(g, order)
+	}
+
 	// Bucket vertices and edges by component in one pass each; anything
 	// per-component beyond that would make graphs with many components
 	// (every equijoin graph) quadratic.
-	comps := g.Components()
 	compID := make([]int, g.N())
 	for ci, comp := range comps {
 		for _, v := range comp {
@@ -51,14 +92,18 @@ func solvePerComponent(g *graph.Graph, fn connectedOrderFunc) (core.Scheme, erro
 		edgesByComp[ci] = append(edgesByComp[ci], gi)
 	}
 
-	var globalOrder []int
+	// Build every component subgraph up front (deterministic local ids:
+	// the k-th local edge is edgesByComp[ci][k]), then fan the solves out.
+	type job struct {
+		ci int
+		cg *graph.Graph
+	}
+	var jobs []job
+	local := make([]int, g.N())
 	for ci, comp := range comps {
 		if len(comp) < 2 {
 			continue // isolated vertex: nothing to pebble (§2)
 		}
-		// Build the component subgraph with dense local vertex ids; the
-		// k-th local edge is edgesByComp[ci][k].
-		local := make(map[int]int, len(comp))
 		for li, v := range comp {
 			local[v] = li
 		}
@@ -67,15 +112,44 @@ func solvePerComponent(g *graph.Graph, fn connectedOrderFunc) (core.Scheme, erro
 			e := g.EdgeAt(gi)
 			cg.AddEdge(local[e.U], local[e.V])
 		}
-		order, err := fn(cg)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, job{ci: ci, cg: cg})
+	}
+
+	orders := make([][]int, len(jobs))
+	errs := make([]error, len(jobs))
+	if w := workerCount(len(jobs)); w <= 1 {
+		for ji := range jobs {
+			orders[ji], errs[ji] = fn(jobs[ji].cg)
 		}
-		if len(order) != cg.M() {
-			return nil, fmt.Errorf("solver: component order covers %d of %d edges", len(order), cg.M())
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ji := range idx {
+					orders[ji], errs[ji] = fn(jobs[ji].cg)
+				}
+			}()
 		}
-		for _, li := range order {
-			globalOrder = append(globalOrder, edgesByComp[ci][li])
+		for ji := range jobs {
+			idx <- ji
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var globalOrder []int
+	for ji, jb := range jobs {
+		if errs[ji] != nil {
+			return nil, errs[ji]
+		}
+		if len(orders[ji]) != jb.cg.M() {
+			return nil, fmt.Errorf("solver: component order covers %d of %d edges", len(orders[ji]), jb.cg.M())
+		}
+		for _, li := range orders[ji] {
+			globalOrder = append(globalOrder, edgesByComp[jb.ci][li])
 		}
 	}
 	return core.SchemeFromEdgeOrder(g, globalOrder)
