@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"joinpebble/internal/bench"
+	"joinpebble/internal/obs"
+	"joinpebble/internal/obs/obshttp"
 )
 
 func main() {
@@ -38,7 +40,22 @@ func main() {
 	runFilter := flag.String("run", "", "only run series whose name contains this substring")
 	benchtime := flag.String("benchtime", "", "per-series time budget, e.g. 2s or 1x (default: testing's 1s)")
 	noCompare := flag.Bool("nocompare", false, "skip the baseline comparison")
+	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
+	tracePath := flag.String("trace", "", "write the span trace as JSONL to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obshttp.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: pprof/expvar on http://%s/debug/\n", addr)
+	}
+	if *tracePath != "" {
+		obs.SetTracer(obs.NewTracer())
+	}
 
 	if *benchtime != "" {
 		if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
@@ -85,12 +102,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench: -run matched no series")
 		os.Exit(2)
 	}
+	// The suite has run by now, so the snapshot carries every counter the
+	// measured code paths bumped — the report records work done, not just
+	// time taken.
+	report.Metrics = obs.Default.Snapshot()
 
 	if err := bench.WriteReport(path, report); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Println("wrote", path)
+
+	if *metricsPath != "" {
+		if err := obs.Default.WriteJSONFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench: wrote metrics to", *metricsPath)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench: wrote trace to", *tracePath)
+	}
 
 	if *noCompare || *legacy {
 		return // a legacy arm is a "before" measurement, not a candidate
@@ -115,8 +151,8 @@ func main() {
 	cmp := bench.Compare(base, report)
 	fmt.Printf("\ncompared against %s (tolerance %.2fx):\n", basePath, *tolerance)
 	fmt.Print(bench.FormatComparison(cmp, *tolerance))
-	if reg := cmp.Regressions(*tolerance); len(reg) > 0 {
-		fmt.Fprintf(os.Stderr, "bench: %d series regressed beyond %.2fx\n", len(reg), *tolerance)
+	if msg := cmp.FailureMessage(*tolerance); msg != "" {
+		fmt.Fprintln(os.Stderr, "bench:", msg)
 		os.Exit(1)
 	}
 	if len(cmp.Gone) > 0 {
@@ -124,4 +160,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("no regressions")
+}
+
+func writeTrace(path string) error {
+	tr := obs.ActiveTracer()
+	if tr == nil {
+		return fmt.Errorf("bench: no active tracer")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

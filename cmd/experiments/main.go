@@ -5,15 +5,19 @@
 // Experiments are independent, so they run on a bounded worker pool
 // (-j, default GOMAXPROCS) while tables are printed strictly in registry
 // order — stdout is byte-identical to a sequential run. A per-experiment
-// wall-time table goes to stderr afterwards (suppress with -timing=false),
-// so piping -markdown output into EXPERIMENTS.md stays clean.
+// wall-time/allocation table and a per-phase instrumentation table go to
+// stderr afterwards (suppress with -timing=false), so piping -markdown
+// output into EXPERIMENTS.md stays clean.
 //
 // Usage:
 //
-//	experiments               # run everything, aligned-text tables
-//	experiments -run E7,E11   # a subset
-//	experiments -markdown     # GitHub-flavored markdown (EXPERIMENTS.md body)
-//	experiments -j 4          # at most 4 experiments in flight
+//	experiments                  # run everything, aligned-text tables
+//	experiments -run E7,E11      # a subset
+//	experiments -markdown        # GitHub-flavored markdown (EXPERIMENTS.md body)
+//	experiments -j 4             # at most 4 experiments in flight
+//	experiments -metrics m.json  # dump the metrics snapshot after the run
+//	experiments -trace t.jsonl   # record the solver span tree
+//	experiments -pprof :6060     # serve /debug/pprof and /debug/vars
 package main
 
 import (
@@ -21,17 +25,21 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"joinpebble/internal/bench"
+	"joinpebble/internal/obs"
+	"joinpebble/internal/obs/obshttp"
 )
 
 type outcome struct {
-	table *bench.Table
-	err   error
-	wall  time.Duration
+	table  *bench.Table
+	err    error
+	wall   time.Duration
+	allocs uint64 // heap bytes allocated during the run (approximate under -j > 1)
 }
 
 func main() {
@@ -39,8 +47,23 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	csv := flag.Bool("csv", false, "emit CSV (one table after another)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
-	timing := flag.Bool("timing", true, "print per-experiment wall-time table to stderr")
+	timing := flag.Bool("timing", true, "print per-experiment and per-phase tables to stderr")
+	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
+	tracePath := flag.String("trace", "", "write the span trace as JSONL to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obshttp.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: pprof/expvar on http://%s/debug/\n", addr)
+	}
+	if *tracePath != "" {
+		obs.SetTracer(obs.NewTracer())
+	}
 
 	var selected []bench.Experiment
 	if *runList == "" {
@@ -81,23 +104,112 @@ func main() {
 		}
 	}
 	if *timing {
-		tt := &bench.Table{
-			ID:     "timing",
-			Title:  fmt.Sprintf("per-experiment wall time (-j %d)", *jobs),
-			Header: []string{"experiment", "wall"},
-		}
-		var total time.Duration
-		for i, e := range selected {
-			tt.AddRow(e.ID, results[i].wall.Round(time.Microsecond).String())
-			total += results[i].wall
-		}
-		tt.AddRow("total (cpu-serial)", total.Round(time.Microsecond).String())
-		if err := tt.Render(os.Stderr); err != nil {
+		printTiming(selected, results, *jobs)
+		printPhases()
+	}
+	if *metricsPath != "" {
+		if err := obs.Default.WriteJSONFile(*metricsPath); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
+		fmt.Fprintln(os.Stderr, "experiments: wrote metrics to", *metricsPath)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "experiments: wrote trace to", *tracePath)
 	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// printTiming renders the per-experiment wall-time/allocation table.
+// Alloc figures are deltas of runtime.MemStats.TotalAlloc around each
+// run, so with -j > 1 concurrent experiments bleed into each other's
+// numbers; the wall column is always exact.
+func printTiming(selected []bench.Experiment, results []outcome, jobs int) {
+	tt := &bench.Table{
+		ID:     "timing",
+		Title:  fmt.Sprintf("per-experiment wall time and allocations (-j %d)", jobs),
+		Header: []string{"experiment", "title", "wall", "alloc"},
+	}
+	if jobs > 1 {
+		tt.Notes = append(tt.Notes, "alloc is a TotalAlloc delta; concurrent experiments overlap, treat as indicative")
+	}
+	var total time.Duration
+	var totalAllocs uint64
+	for i, e := range selected {
+		tt.AddRow(e.ID, e.Title, results[i].wall.Round(time.Microsecond).String(), formatBytes(results[i].allocs))
+		total += results[i].wall
+		totalAllocs += results[i].allocs
+	}
+	tt.AddRow("total", "(cpu-serial)", total.Round(time.Microsecond).String(), formatBytes(totalAllocs))
+	if err := tt.Render(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+}
+
+// printPhases renders the instrumented per-phase timers (solver phases,
+// claw detection, ...) accumulated across every experiment that ran.
+func printPhases() {
+	snap := obs.Default.Snapshot()
+	names := make([]string, 0, len(snap.Timers))
+	for name := range snap.Timers {
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	pt := &bench.Table{
+		ID:     "phases",
+		Title:  "per-phase instrumented time (all experiments)",
+		Header: []string{"phase", "count", "total", "avg"},
+	}
+	for _, name := range names {
+		ts := snap.Timers[name]
+		if ts.Count == 0 {
+			continue
+		}
+		pt.AddRow(name,
+			fmt.Sprint(ts.Count),
+			time.Duration(ts.TotalNs).Round(time.Microsecond).String(),
+			time.Duration(int64(ts.AvgNs)).Round(time.Microsecond).String())
+	}
+	if err := pt.Render(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+}
+
+func writeTrace(path string) error {
+	tr := obs.ActiveTracer()
+	if tr == nil {
+		return fmt.Errorf("experiments: no active tracer")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
 	}
 }
 
@@ -137,7 +249,11 @@ func run(selected []bench.Experiment, j int) []outcome {
 }
 
 func runOne(e bench.Experiment) outcome {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	table, err := e.Run()
-	return outcome{table: table, err: err, wall: time.Since(start)}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return outcome{table: table, err: err, wall: wall, allocs: after.TotalAlloc - before.TotalAlloc}
 }

@@ -20,6 +20,7 @@ import (
 	"joinpebble/internal/family"
 	"joinpebble/internal/graph"
 	"joinpebble/internal/join"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/relation"
 	"joinpebble/internal/workload"
 )
@@ -41,10 +42,15 @@ func main() {
 		extent     = flag.Float64("extent", 5, "spatial: max rectangle side")
 		clusters   = flag.Int("clusters", 0, "spatial: cluster count (0 = uniform)")
 		n          = flag.Int("n", 5, "spider: family parameter")
+		metrics    = flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *kind, *out, *seed, *left, *right, *domain, *skew,
-		*universe, *leftMax, *rightMax, *correlated, *span, *extent, *clusters, *n); err != nil {
+	err := run(os.Stdout, *kind, *out, *seed, *left, *right, *domain, *skew,
+		*universe, *leftMax, *rightMax, *correlated, *span, *extent, *clusters, *n)
+	if err == nil && *metrics != "" {
+		err = obs.Default.WriteJSONFile(*metrics)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "joingen:", err)
 		os.Exit(1)
 	}

@@ -21,6 +21,7 @@ import (
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/solver"
 )
 
@@ -28,16 +29,40 @@ func main() {
 	solverName := flag.String("solver", "auto", "solver: auto, exact, exact-bnb, approx-1.25, cycle-cover, greedy, greedy+2opt, path-cover, naive, equijoin, matching")
 	showScheme := flag.Bool("scheme", false, "print the full configuration sequence")
 	decideK := flag.Int("decide", -1, "answer PEBBLE(D): is π(G) <= K? (-1 disables)")
+	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
+	tracePath := flag.String("trace", "", "write the span trace as JSONL to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pebble [flags] [file]\nreads the graph from stdin when no file is given\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	if err := run(os.Stdout, *solverName, *showScheme, *decideK, flag.Arg(0)); err != nil {
+	if *tracePath != "" {
+		obs.SetTracer(obs.NewTracer())
+	}
+	err := run(os.Stdout, *solverName, *showScheme, *decideK, flag.Arg(0))
+	if err == nil && *metricsPath != "" {
+		err = obs.Default.WriteJSONFile(*metricsPath)
+	}
+	if err == nil && *tracePath != "" {
+		err = writeTrace(*tracePath)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pebble:", err)
 		os.Exit(1)
 	}
+}
+
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.ActiveTracer().WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(w io.Writer, solverName string, showScheme bool, decideK int, path string) error {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is an experiment result: a titled grid of strings.
@@ -58,12 +59,12 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -163,11 +164,15 @@ func (t *Table) CSV(w io.Writer) error {
 	return nil
 }
 
+// pad right-fills s to w columns. Width is counted in runes, not bytes —
+// headers like "π̂ emitted" are multi-byte but single-column per rune, and
+// byte-based padding skewed every column after them.
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // Experiment is one registered paper-claim verification.

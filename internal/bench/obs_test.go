@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"joinpebble/internal/obs"
+)
+
+// TestE15AuditHistogramConsistency cross-checks the two places a join
+// algorithm's pebbling cost is reported: the π̂ column E15's table prints
+// (from AuditPairs results) and the join/audit/cost histogram the same
+// AuditPairs calls feed. The deltas the experiment produces must agree
+// exactly — one audited run per table row, the histogram's sum equal to
+// the column total — or a -metrics snapshot would disagree with the
+// experiment tables shipped in EXPERIMENTS.md.
+func TestE15AuditHistogramConsistency(t *testing.T) {
+	before := obs.Default.Snapshot()
+	table, err := E15Algorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default.Snapshot()
+
+	var wantSum, wantRuns int64
+	const costCol = 3 // the "π̂ emitted" column
+	for _, row := range table.Rows {
+		c, err := strconv.ParseInt(row[costCol], 10, 64)
+		if err != nil {
+			t.Fatalf("row %v: column %d is not a cost: %v", row, costCol, err)
+		}
+		wantSum += c
+		wantRuns++
+	}
+	if wantRuns == 0 {
+		t.Fatal("E15 produced no rows")
+	}
+
+	h0 := before.Histograms["join/audit/cost"] // zero value if first run
+	h1, ok := after.Histograms["join/audit/cost"]
+	if !ok {
+		t.Fatal("join/audit/cost histogram missing from snapshot")
+	}
+	if got := h1.Sum - h0.Sum; got != wantSum {
+		t.Errorf("join/audit/cost sum delta = %d, want %d (the table's π̂ total)", got, wantSum)
+	}
+	if got := h1.Count - h0.Count; got != wantRuns {
+		t.Errorf("join/audit/cost count delta = %d, want %d (one per table row)", got, wantRuns)
+	}
+	if got := after.Counters["join/audit/runs"] - before.Counters["join/audit/runs"]; got != wantRuns {
+		t.Errorf("join/audit/runs delta = %d, want %d", got, wantRuns)
+	}
+}
+
+// TestReportMetricsRoundTrip checks a Report carrying a metrics snapshot
+// survives the write/load cycle without a schema bump.
+func TestReportMetricsRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x/y").Add(7)
+	r := &Report{
+		Schema: SchemaVersion,
+		Date:   "2026-08-06",
+		Series: []Series{{Name: "op/w", NsPerOp: 1}},
+	}
+	r.Metrics = reg.Snapshot()
+
+	path := t.TempDir() + "/BENCH_2026-08-06.json"
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics == nil || back.Metrics.Counters["x/y"] != 7 {
+		t.Fatalf("metrics did not round-trip: %+v", back.Metrics)
+	}
+
+	// A report without metrics must load too (older files).
+	r.Metrics = nil
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err = LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics != nil {
+		t.Fatalf("expected nil metrics, got %+v", back.Metrics)
+	}
+}
+
+// TestFailureMessageListsAllRegressions pins the one-shot failure report:
+// every offender in one message, slowest first, tolerance included.
+func TestFailureMessageListsAllRegressions(t *testing.T) {
+	base := &Report{Schema: SchemaVersion, Series: []Series{
+		{Name: "a/fast", NsPerOp: 100},
+		{Name: "b/slow", NsPerOp: 100},
+		{Name: "c/worse", NsPerOp: 100},
+	}}
+	cur := &Report{Schema: SchemaVersion, Series: []Series{
+		{Name: "a/fast", NsPerOp: 90},
+		{Name: "b/slow", NsPerOp: 150},
+		{Name: "c/worse", NsPerOp: 200},
+	}}
+	c := Compare(base, cur)
+	msg := c.FailureMessage(1.30)
+	if msg == "" {
+		t.Fatal("FailureMessage empty, want two regressions reported")
+	}
+	for _, want := range []string{"2 series regressed beyond 1.30x", "b/slow", "c/worse", "2.00x", "1.50x"} {
+		if !containsStr(msg, want) {
+			t.Errorf("failure message missing %q:\n%s", want, msg)
+		}
+	}
+	if containsStr(msg, "a/fast") {
+		t.Errorf("failure message names non-regressing series a/fast:\n%s", msg)
+	}
+	// Slowest first.
+	if idxOf(msg, "c/worse") > idxOf(msg, "b/slow") {
+		t.Errorf("regressions not sorted slowest-first:\n%s", msg)
+	}
+	if got := c.FailureMessage(3.0); got != "" {
+		t.Errorf("FailureMessage with loose tolerance = %q, want empty", got)
+	}
+}
+
+func containsStr(s, sub string) bool { return idxOf(s, sub) >= 0 }
+
+func idxOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -82,7 +82,7 @@ func PerfSuite(legacy bool) []PerfCase {
 	bip := perfBipartite(60, 40, 2400)    // dense bipartite, m = 2400
 	wide := perfBipartite(100, 100, 3000) // sparser bipartite, m = 3000
 	multi := multiComponent(8, 120, 300)  // 8 components, m = 2400 total
-	equi := func() *graph.Graph { // 12 complete-bipartite islands, m = 4800
+	equi := func() *graph.Graph {         // 12 complete-bipartite islands, m = 4800
 		out := graph.New(0)
 		for i := 0; i < 12; i++ {
 			out = graph.DisjointUnion(out, graph.CompleteBipartite(10, 40).Graph())

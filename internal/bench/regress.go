@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"joinpebble/internal/obs"
 )
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump on incompatible
@@ -22,11 +24,11 @@ const SchemaVersion = 1
 // identifiers of the form "<operation>/<workload>" — comparisons match on
 // them, so renaming a series silently drops its regression coverage.
 type Series struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 	// Extra carries workload-derived scalars that should stay constant
 	// across runs — e.g. a solver's cost ratio π̂/m — so a perf win that
 	// quietly worsens solution quality is visible in the same file.
@@ -35,16 +37,22 @@ type Series struct {
 
 // Report is the on-disk BENCH_<date>.json document.
 type Report struct {
-	Schema     int      `json:"schema"`
-	Date       string   `json:"date"` // YYYY-MM-DD
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	Schema     int    `json:"schema"`
+	Date       string `json:"date"` // YYYY-MM-DD
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Legacy marks a report produced with the pre-optimization code paths
 	// (map-backed line graphs, unfrozen lookups, sequential solving).
 	// Legacy reports are never auto-picked as baselines; they exist as the
 	// "before" arm of a before/after pair.
 	Legacy bool     `json:"legacy,omitempty"`
 	Series []Series `json:"series"`
+	// Metrics is the instrumentation snapshot taken after the suite ran —
+	// counters like pebble acquisitions and claw checks alongside the
+	// timings, so a report records what the suite did, not just how fast.
+	// Optional; omitted by readers of older reports. Its presence does not
+	// bump SchemaVersion because consumers ignore unknown fields.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Find returns the named series, if present.
@@ -57,14 +65,17 @@ func (r *Report) Find(name string) (Series, bool) {
 	return Series{}, false
 }
 
-// WriteReport writes r as indented JSON to path.
+// WriteReport writes r as indented JSON to path. The write is atomic
+// (temp file + rename), so an interrupted run can never leave a truncated
+// BENCH_*.json that a later run would pick as its baseline and fail to
+// parse.
 func WriteReport(path string, r *Report) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return fmt.Errorf("bench: marshal report: %w", err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := obs.AtomicWriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("bench: write report: %w", err)
 	}
 	return nil
@@ -142,6 +153,24 @@ func (c *Comparison) Regressions(tolerance float64) []Delta {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
 	return out
+}
+
+// FailureMessage summarizes every series that regressed beyond tolerance
+// in one message, slowest first, so a failing run names all offenders at
+// once instead of making the caller re-run after each fix. Returns ""
+// when nothing regressed.
+func (c *Comparison) FailureMessage(tolerance float64) string {
+	reg := c.Regressions(tolerance)
+	if len(reg) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d series regressed beyond %.2fx:", len(reg), tolerance)
+	for _, d := range reg {
+		fmt.Fprintf(&sb, "\n  %s: %.0f -> %.0f ns/op (%.2fx > %.2fx)",
+			d.Name, d.Base.NsPerOp, d.Cur.NsPerOp, d.Ratio, tolerance)
+	}
+	return sb.String()
 }
 
 // Compare diffs cur against base by series name.

@@ -17,6 +17,20 @@ import (
 	"fmt"
 
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
+)
+
+// Pebble-game accounting, flushed once per simulated run (the per-config
+// loop stays counter-free): acquisitions are the π̂ moves that put a
+// pebble on a vertex — the paper's central cost — and releases are the
+// moves that vacated one (every move after the two initial placements).
+var (
+	cSimulateRuns   = obs.Default.Counter("core/simulate/runs")
+	cSimulateConfig = obs.Default.Counter("core/simulate/configs")
+	cSimulateWasted = obs.Default.Counter("core/simulate/wasted_configs")
+	cEdgesDeleted   = obs.Default.Counter("core/simulate/edges_deleted")
+	cPebbleAcquire  = obs.Default.Counter("core/pebble/acquisitions")
+	cPebbleRelease  = obs.Default.Counter("core/pebble/releases")
 )
 
 // Config is a pebbling configuration: the positions of the two pebbles.
@@ -112,6 +126,14 @@ func Simulate(g *graph.Graph, s Scheme) (*Result, error) {
 		} else {
 			res.WastedConfigs++
 		}
+	}
+	cSimulateRuns.Inc()
+	cSimulateConfig.Add(int64(len(s)))
+	cSimulateWasted.Add(int64(res.WastedConfigs))
+	cEdgesDeleted.Add(int64(res.DeletedCount))
+	if cost := s.Cost(); cost > 0 {
+		cPebbleAcquire.Add(int64(cost))
+		cPebbleRelease.Add(int64(cost - 2))
 	}
 	return res, nil
 }

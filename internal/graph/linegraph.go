@@ -1,5 +1,11 @@
 package graph
 
+import (
+	"time"
+
+	"joinpebble/internal/obs"
+)
+
 // LineGraph returns L(G): one vertex per edge of g (vertex i of L(G)
 // corresponds to edge index i of g), with two vertices adjacent iff the
 // underlying edges share an endpoint (§2.2). Pebbling schemes for g
@@ -38,7 +44,7 @@ func LineGraph(g *Graph) *Graph {
 	flat := make([]int, 2*total)
 	off := 0
 	for i := 0; i < m; i++ {
-		lg.adj[i] = flat[off:off:off+degL[i]]
+		lg.adj[i] = flat[off : off : off+degL[i]]
 		off += degL[i]
 	}
 	// For each vertex, all incident edges are pairwise adjacent in L(G);
@@ -100,10 +106,27 @@ func FindClaw(g *Graph) (center int, leaves [3]int, ok bool) {
 	return FindClawIn(g)
 }
 
+// Claw-detection accounting: one timer observation and one check counter
+// per search, a found counter per claw — the "claw count" quantity
+// DESIGN.md maps to Theorem 3.1's claw-freeness precondition.
+var (
+	cClawChecks    = obs.Default.Counter("graph/claw/checks")
+	cClawsFound    = obs.Default.Counter("graph/claw/found")
+	tClawDetection = obs.Default.Timer("graph/phase/claw_detection")
+)
+
 // FindClawIn is FindClaw over any Adjacency — in particular a
 // LineGraphView, which lets claw checks walk L(G) without materializing
 // it.
 func FindClawIn(a Adjacency) (center int, leaves [3]int, ok bool) {
+	start := time.Now()
+	defer func() {
+		tClawDetection.Observe(time.Since(start))
+		cClawChecks.Inc()
+		if ok {
+			cClawsFound.Inc()
+		}
+	}()
 	var nb []int
 	for v := 0; v < a.N(); v++ {
 		if a.Degree(v) < 3 {

@@ -7,6 +7,12 @@ import (
 	"joinpebble/internal/graph"
 )
 
+var (
+	mHashJoin        = newAlgMetrics("hash")
+	mSortMerge       = newAlgMetrics("sort_merge")
+	mSortMergeZigzag = newAlgMetrics("sort_merge_zigzag")
+)
+
 // HashJoin is the classic build/probe hash equijoin over a comparable
 // key: build a hash table on the right input, probe with each left tuple.
 // Emission order is left-major (all matches of l_0, then l_1, ...), with
@@ -22,6 +28,7 @@ func HashJoin[K comparable](ls, rs []K) []Pair {
 			out = append(out, Pair{L: i, R: j})
 		}
 	}
+	mHashJoin.flush(int64(len(ls)), int64(len(out))) // one probe per left tuple
 	return out
 }
 
@@ -35,9 +42,11 @@ func HashJoin[K comparable](ls, rs []K) []Pair {
 func SortMerge[K cmp.Ordered](ls, rs []K) []Pair {
 	li, ri := sortedIndex(ls), sortedIndex(rs)
 	var out []Pair
+	var compared int64
 	i, j := 0, 0
 	for i < len(li) && j < len(ri) {
 		lv, rv := ls[li[i]], rs[ri[j]]
+		compared++
 		switch {
 		case lv < rv:
 			i++
@@ -61,6 +70,7 @@ func SortMerge[K cmp.Ordered](ls, rs []K) []Pair {
 			i, j = iEnd, jEnd
 		}
 	}
+	mSortMerge.flush(compared, int64(len(out)))
 	return out
 }
 
@@ -73,9 +83,11 @@ func SortMerge[K cmp.Ordered](ls, rs []K) []Pair {
 func SortMergeZigzag[K cmp.Ordered](ls, rs []K) []Pair {
 	li, ri := sortedIndex(ls), sortedIndex(rs)
 	var out []Pair
+	var compared int64
 	i, j := 0, 0
 	for i < len(li) && j < len(ri) {
 		lv, rv := ls[li[i]], rs[ri[j]]
+		compared++
 		switch {
 		case lv < rv:
 			i++
@@ -104,6 +116,7 @@ func SortMergeZigzag[K cmp.Ordered](ls, rs []K) []Pair {
 			i, j = iEnd, jEnd
 		}
 	}
+	mSortMergeZigzag.flush(compared, int64(len(out)))
 	return out
 }
 

@@ -14,8 +14,46 @@ import (
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/sets"
 	"joinpebble/internal/spatial"
+)
+
+// Per-algorithm work accounting. "Compared" counts the predicate (or
+// key/probe) evaluations the algorithm actually performs — the quantity
+// the filter-style algorithms exist to shrink — and "emitted" the result
+// pairs. Both are accumulated in locals and flushed once per call so the
+// inner loops carry no atomic traffic.
+type algMetrics struct {
+	compared *obs.Counter
+	emitted  *obs.Counter
+}
+
+func newAlgMetrics(name string) algMetrics {
+	return algMetrics{
+		compared: obs.Default.Counter("join/" + name + "/tuples_compared"),
+		emitted:  obs.Default.Counter("join/" + name + "/pairs_emitted"),
+	}
+}
+
+func (m algMetrics) flush(compared, emitted int64) {
+	m.compared.Add(compared)
+	m.emitted.Add(emitted)
+}
+
+var (
+	mNestedLoop = newAlgMetrics("nested_loop")
+
+	// Audit accounting: the emission-order pebbling cost of every audited
+	// run lands in one histogram, so a -metrics snapshot carries the π̂
+	// distribution of everything an experiment executed. The histogram's
+	// sum equals the total of the per-run costs the experiment tables
+	// print — the consistency the E15 acceptance check pins.
+	cAuditRuns    = obs.Default.Counter("join/audit/runs")
+	cAuditPairs   = obs.Default.Counter("join/audit/pairs")
+	cAuditJumps   = obs.Default.Counter("join/audit/jumps")
+	cAuditPerfect = obs.Default.Counter("join/audit/perfect")
+	hAuditCost    = obs.Default.Histogram("join/audit/cost", obs.Pow2Buckets(24))
 )
 
 // Pair is a join result: indices into the two input relations.
@@ -58,6 +96,7 @@ func NestedLoop[L, R any](ls []L, rs []R, pred func(L, R) bool) []Pair {
 			}
 		}
 	}
+	mNestedLoop.flush(int64(len(ls))*int64(len(rs)), int64(len(out)))
 	return out
 }
 
@@ -105,6 +144,13 @@ func AuditPairs(b *graph.Bipartite, pairs []Pair) (*Audit, error) {
 		}
 	}
 	eff := cost - core.Betti0(g)
+	cAuditRuns.Inc()
+	cAuditPairs.Add(int64(len(pairs)))
+	cAuditJumps.Add(int64(jumps))
+	if eff == g.M() {
+		cAuditPerfect.Inc()
+	}
+	hAuditCost.Observe(int64(cost))
 	return &Audit{
 		Pairs:         len(pairs),
 		Cost:          cost,

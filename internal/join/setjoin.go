@@ -2,6 +2,12 @@ package join
 
 import "joinpebble/internal/sets"
 
+var (
+	mSignatureNL     = newAlgMetrics("signature_nested_loop")
+	mInvertedIndex   = newAlgMetrics("inverted_index")
+	mPartitionedSets = newAlgMetrics("partitioned_set")
+)
+
 // SignatureNestedLoop is the signature-filtered nested-loop containment
 // join of Helmer & Moerkotte ([5] in the paper): precompute 64-bit
 // superimposed signatures, compare sets only when the signature test
@@ -16,13 +22,18 @@ func SignatureNestedLoop(ls, rs []sets.Set) []Pair {
 		rsig[j] = sets.SignatureOf(s)
 	}
 	var out []Pair
+	var compared int64 // full subset tests the signature filter let through
 	for i, l := range ls {
 		for j, r := range rs {
-			if lsig[i].MaySubset(rsig[j]) && l.SubsetOf(r) {
-				out = append(out, Pair{L: i, R: j})
+			if lsig[i].MaySubset(rsig[j]) {
+				compared++
+				if l.SubsetOf(r) {
+					out = append(out, Pair{L: i, R: j})
+				}
 			}
 		}
 	}
+	mSignatureNL.flush(compared, int64(len(out)))
 	return out
 }
 
@@ -38,6 +49,7 @@ func InvertedIndexJoin(ls, rs []sets.Set) []Pair {
 			out = append(out, Pair{L: i, R: j})
 		}
 	}
+	mInvertedIndex.flush(int64(len(ls)), int64(len(out))) // one index probe per left set
 	return out
 }
 
@@ -65,6 +77,7 @@ func PartitionedSetJoin(ls, rs []sets.Set, partitions int) []Pair {
 		}
 	}
 	var out []Pair
+	var compared int64
 	for i, l := range ls {
 		if l.Empty() {
 			for j := range rs {
@@ -73,11 +86,13 @@ func PartitionedSetJoin(ls, rs []sets.Set, partitions int) []Pair {
 			continue
 		}
 		p := int(l.Elems()[0]) % partitions
+		compared += int64(len(part[p]))
 		for _, j := range part[p] {
 			if l.SubsetOf(rs[j]) {
 				out = append(out, Pair{L: i, R: j})
 			}
 		}
 	}
+	mPartitionedSets.flush(compared, int64(len(out)))
 	return out
 }

@@ -2,6 +2,12 @@ package join
 
 import "joinpebble/internal/spatial"
 
+var (
+	mRTreeJoin = newAlgMetrics("rtree")
+	mSweepJoin = newAlgMetrics("sweep")
+	mPolygonNL = newAlgMetrics("polygon_nested_loop")
+)
+
 // RTreeJoin is the index-nested-loop spatial join: build an R-tree on the
 // right rectangles, probe it with each left rectangle. Emission is
 // left-major with right matches in ascending index order.
@@ -16,6 +22,7 @@ func RTreeJoin(ls, rs []spatial.Rect, fanout int) []Pair {
 			out = append(out, Pair{L: i, R: j})
 		}
 	}
+	mRTreeJoin.flush(int64(len(ls)), int64(len(out))) // one tree probe per left rect
 	return out
 }
 
@@ -28,6 +35,7 @@ func SweepJoin(ls, rs []spatial.Rect) []Pair {
 	for k, p := range raw {
 		out[k] = Pair{L: p[0], R: p[1]}
 	}
+	mSweepJoin.flush(int64(len(raw)), int64(len(out)))
 	return out
 }
 
@@ -47,15 +55,18 @@ func PolygonNestedLoop(ls, rs []spatial.Polygon, prefilter bool) []Pair {
 		}
 	}
 	var out []Pair
+	var compared int64 // SAT tests the bounding-box prefilter let through
 	for i, l := range ls {
 		for j, r := range rs {
 			if prefilter && !lb[i].Overlaps(rb[j]) {
 				continue
 			}
+			compared++
 			if l.Overlaps(r) {
 				out = append(out, Pair{L: i, R: j})
 			}
 		}
 	}
+	mPolygonNL.flush(compared, int64(len(out)))
 	return out
 }

@@ -1,0 +1,386 @@
+// Package obs is the dependency-free observability layer of the
+// pebble-game stack: atomic counters, fixed-bucket histograms, monotonic
+// timers, and a hierarchical span tracer (see trace.go), all collected in
+// a Registry that snapshots to JSON.
+//
+// Design constraints, in order:
+//
+//  1. Free when off. The tracer is disabled by default and costs one
+//     atomic pointer load + nil check per span site. Counters and timers
+//     are always on, but instrumentation sites accumulate into locals
+//     inside hot loops and flush once per run, so the steady-state cost
+//     is a handful of uncontended atomic adds per operation — invisible
+//     next to the millisecond-scale solves they account for.
+//  2. No dependencies. This package imports only the standard library
+//     (and nothing from internal/), so every layer of the stack can
+//     import it without cycles. HTTP exposure (expvar, net/http/pprof)
+//     lives in the obshttp subpackage to keep binaries that never serve
+//     metrics free of net/http.
+//  3. Stable names. Metric names are slash-separated paths
+//     ("solver/phase/component_split"); snapshots key on them, so
+//     renaming a metric silently breaks dashboards and the CI smoke
+//     assertions — treat names like the bench series names in regress.go.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be 0; negative n is allowed but makes the counter a
+// gauge — prefer separate counters for up and down).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram counts observations into a fixed bucket layout chosen at
+// construction. Bucket i counts observations v with v <= Bounds[i]
+// (first i that satisfies it); one implicit overflow bucket catches the
+// rest. Sum, Count, Min and Max are tracked exactly, so totals derived
+// from a histogram match the individual observations — the property the
+// E15 consistency test leans on.
+type Histogram struct {
+	bounds     []int64
+	buckets    []atomic.Int64 // len(bounds)+1; last is overflow
+	count, sum atomic.Int64
+	min, max   atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	h := &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Pow2Buckets returns the exponential layout [1, 2, 4, ..., 2^(n-1)] —
+// the default for count-like quantities (pebbling costs, page fetches).
+func Pow2Buckets(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1 << i
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Timer accumulates durations of a repeated operation: count, total, and
+// the min/max extremes, all in nanoseconds. Reading the clock is the
+// caller's job (start := time.Now(); ...; t.ObserveSince(start)), so a
+// Timer itself never syscalls.
+type Timer struct {
+	count, total, min, max atomic.Int64
+}
+
+func newTimer() *Timer {
+	t := &Timer{}
+	t.min.Store(math.MaxInt64)
+	t.max.Store(math.MinInt64)
+	return t
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	n := int64(d)
+	t.count.Add(1)
+	t.total.Add(n)
+	for {
+		cur := t.min.Load()
+		if n >= cur || t.min.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	for {
+		cur := t.max.Load()
+		if n <= cur || t.max.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the time elapsed since start.
+func (t *Timer) ObserveSince(start time.Time) { t.Observe(time.Since(start)) }
+
+// Count returns the number of recorded durations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.total.Load()) }
+
+// Registry is a namespace of metrics. The zero value is not usable; use
+// NewRegistry or the package-level Default. Lookup methods get-or-create,
+// so instrumentation sites bind their metric once in a package var and
+// pay no map lookup afterwards.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
+}
+
+// Default is the process-wide registry every internal package records
+// into. The cmd tools snapshot it for -metrics and publish it on expvar
+// for -pprof.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds if absent. Bounds of an existing histogram are kept —
+// the first registration wins — so call sites should agree on a layout.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Timer returns the named timer, creating it if absent.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.RLock()
+	t, ok := r.timers[name]
+	r.mu.RUnlock()
+	if ok {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.timers[name]; ok {
+		return t
+	}
+	t = newTimer()
+	r.timers[name] = t
+	return t
+}
+
+// Reset zeroes every registered metric (buckets and extremes included)
+// without unregistering anything. Tests use it to measure deltas; bound
+// metric pointers stay valid.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.min.Store(math.MaxInt64)
+		h.max.Store(math.MinInt64)
+	}
+	for _, t := range r.timers {
+		t.count.Store(0)
+		t.total.Store(0)
+		t.min.Store(math.MaxInt64)
+		t.max.Store(math.MinInt64)
+	}
+}
+
+// Bucket is one histogram bucket in a snapshot: N observations with
+// value <= LE (the overflow bucket has LE = math.MaxInt64).
+type Bucket struct {
+	LE int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// TimerSnapshot is the frozen state of one timer, in nanoseconds.
+type TimerSnapshot struct {
+	Count   int64   `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	AvgNs   float64 `json:"avg_ns"`
+	MinNs   int64   `json:"min_ns"`
+	MaxNs   int64   `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON: maps
+// keyed by metric name (encoding/json emits map keys sorted, so output
+// is deterministic given deterministic values).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Timers     map[string]TimerSnapshot     `json:"timers"`
+}
+
+// Snapshot captures the current value of every registered metric.
+// Individual metrics are read atomically; the snapshot as a whole is not
+// a consistent cut if writers are concurrent, which is fine for the
+// monotone quantities recorded here.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Timers:     make(map[string]TimerSnapshot, len(r.timers)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:   h.count.Load(),
+			Sum:     h.sum.Load(),
+			Buckets: make([]Bucket, len(h.buckets)),
+		}
+		if hs.Count > 0 {
+			hs.Min = h.min.Load()
+			hs.Max = h.max.Load()
+		}
+		for i := range h.buckets {
+			le := int64(math.MaxInt64)
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			hs.Buckets[i] = Bucket{LE: le, N: h.buckets[i].Load()}
+		}
+		s.Histograms[name] = hs
+	}
+	for name, t := range r.timers {
+		ts := TimerSnapshot{
+			Count:   t.count.Load(),
+			TotalNs: t.total.Load(),
+		}
+		if ts.Count > 0 {
+			ts.AvgNs = float64(ts.TotalNs) / float64(ts.Count)
+			ts.MinNs = t.min.Load()
+			ts.MaxNs = t.max.Load()
+		}
+		s.Timers[name] = ts
+	}
+	return s
+}
+
+// MarshalJSON renders the registry's current snapshot, which makes a
+// *Registry usable directly as an expvar.Func payload.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// WriteJSONFile atomically writes the current snapshot as indented JSON
+// to path (temp file + rename, same guarantee as bench.WriteReport).
+func (r *Registry) WriteJSONFile(path string) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal snapshot: %w", err)
+	}
+	return AtomicWriteFile(path, append(data, '\n'), 0o644)
+}
+
+// AtomicWriteFile writes data to path via a temp file in the same
+// directory and an atomic rename, so a crashed or interrupted writer can
+// never leave a truncated file at path.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("obs: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: chmod %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("obs: rename %s -> %s: %w", tmpName, path, err)
+	}
+	return nil
+}

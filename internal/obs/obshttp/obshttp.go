@@ -1,0 +1,41 @@
+// Package obshttp exposes an obs.Registry over HTTP: the registry as an
+// expvar variable on /debug/vars and the standard net/http/pprof
+// profiling handlers on /debug/pprof/. It exists as a subpackage so that
+// internal/obs itself stays dependency-free — only binaries that opt in
+// (the cmd tools' -pprof flag) link net/http.
+package obshttp
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"sync"
+
+	"joinpebble/internal/obs"
+)
+
+var publishOnce sync.Map // name -> struct{}; expvar.Publish panics on duplicates
+
+// Publish registers r under name on expvar, so every /debug/vars scrape
+// returns a fresh snapshot. Repeated calls with the same name are no-ops.
+func Publish(name string, r *obs.Registry) {
+	if _, loaded := publishOnce.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Serve publishes obs.Default as "joinpebble" and starts an HTTP server
+// on addr (e.g. "localhost:6060") in the background, serving /debug/vars
+// and /debug/pprof/. The listener is bound synchronously so bind errors
+// surface to the caller; the returned address is useful with addr ":0".
+func Serve(addr string) (net.Addr, error) {
+	Publish("joinpebble", obs.Default)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // background server dies with the process
+	return ln.Addr(), nil
+}

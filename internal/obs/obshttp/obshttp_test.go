@@ -1,0 +1,52 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"joinpebble/internal/obs"
+)
+
+// TestServeExposesRegistry spins up the debug server on an ephemeral
+// port and checks /debug/vars carries a live snapshot of obs.Default and
+// /debug/pprof/ answers.
+func TestServeExposesRegistry(t *testing.T) {
+	obs.Default.Counter("obshttp_test/hits").Add(3)
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind a local listener: %v", err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Joinpebble obs.Snapshot `json:"joinpebble"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v\n%s", err, body)
+	}
+	if vars.Joinpebble.Counters["obshttp_test/hits"] < 3 {
+		t.Fatalf("snapshot missing counter: %+v", vars.Joinpebble.Counters)
+	}
+
+	pp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ returned %d", pp.StatusCode)
+	}
+
+	// Publish with the same name again must not panic (expvar would).
+	Publish("joinpebble", obs.Default)
+}

@@ -15,7 +15,19 @@ import (
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/solver"
+)
+
+// Page-model accounting: fetches is the [6]-model I/O cost (π̂ on the
+// page graph), page_pairs the quotient graph's edge count. The fetch
+// histogram makes layout comparisons (sequential vs value-clustered)
+// readable straight off a -metrics snapshot.
+var (
+	cPlans       = obs.Default.Counter("pages/plans")
+	cFetches     = obs.Default.Counter("pages/fetches")
+	cPagePairs   = obs.Default.Counter("pages/page_pairs")
+	hFetchCounts = obs.Default.Histogram("pages/fetches_per_plan", obs.Pow2Buckets(24))
 )
 
 // Layout assigns every tuple of each relation to a page.
@@ -146,6 +158,10 @@ func Plan(b *graph.Bipartite, l *Layout, s solver.Solver) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
+	cPlans.Inc()
+	cFetches.Add(int64(cost))
+	cPagePairs.Add(int64(g.M()))
+	hFetchCounts.Observe(int64(cost))
 	return &Schedule{
 		Scheme:     scheme,
 		Fetches:    cost,

@@ -2,9 +2,16 @@ package solver
 
 import (
 	"fmt"
+	"time"
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
+)
+
+var (
+	tPathPartition = obs.Default.Timer("solver/phase/path_partition")
+	cPathPieces    = obs.Default.Counter("solver/approx/path_pieces")
 )
 
 // Approx125 implements the constructive proof of Theorem 3.1 / Lemma 3.1:
@@ -57,22 +64,30 @@ func (a Approx125) Name() string {
 
 // Solve implements Solver.
 func (a Approx125) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
-		return approxComponentOrder(cg, a.SkipTwinElimination, a.Materialize)
+	return solvePerComponent(g, a.Name(), func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+		return approxComponentOrder(cg, sp, a.SkipTwinElimination, a.Materialize)
 	})
 }
 
-func approxComponentOrder(cg *graph.Graph, skipTwins, materialize bool) ([]int, error) {
+func approxComponentOrder(cg *graph.Graph, sp *obs.Span, skipTwins, materialize bool) ([]int, error) {
+	lgSpan := sp.Start("line_graph")
 	var lg graph.Adjacency
 	if materialize {
 		lg = graph.LineGraphReference(cg)
 	} else {
 		lg = graph.NewLineGraphView(cg)
 	}
+	lgSpan.End()
+	partStart := time.Now()
+	partSpan := sp.Start("path_partition")
 	pieces, err := pathPartition(lg, skipTwins)
+	partSpan.End()
+	tPathPartition.Observe(time.Since(partStart))
 	if err != nil {
 		return nil, err
 	}
+	cPathPieces.Add(int64(len(pieces)))
+	partSpan.SetInt("pieces", int64(len(pieces)))
 	var order []int
 	for _, p := range pieces {
 		order = append(order, p...)

@@ -5,7 +5,18 @@ import (
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/tsp"
+)
+
+// Decide outcome counters: how often each rung of the decision ladder
+// settles a PEBBLE(D) query without paying for the rungs below it.
+var (
+	cDecideCalls       = obs.Default.Counter("solver/decide/calls")
+	cDecideLowerBound  = obs.Default.Counter("solver/decide/by_lower_bound")
+	cDecideUpperBound  = obs.Default.Counter("solver/decide/by_upper_bound")
+	cDecideCertificate = obs.Default.Counter("solver/decide/by_certificate")
+	cDecideExact       = obs.Default.Counter("solver/decide/by_exact")
 )
 
 // Decide answers PEBBLE(D) of Definition 4.1: given G and an integer K,
@@ -16,16 +27,21 @@ import (
 // the worst case is still exponential, as Theorem 4.2 says it must be
 // unless P = NP.
 func Decide(g *graph.Graph, k int) (bool, error) {
+	cDecideCalls.Inc()
+	sp := obs.StartSpan("decide")
+	defer sp.End()
 	m := g.M()
 	if m == 0 {
 		return k >= 0, nil
 	}
 	// Lemma 2.3 lower bound: π >= m always.
 	if k < m {
+		cDecideLowerBound.Inc()
 		return false, nil
 	}
 	// Theorem 3.1 upper bound: π <= sum of m_i + floor((m_i-1)/4).
 	if k >= ApproxCostBound(g)-core.Betti0(g) {
+		cDecideUpperBound.Inc()
 		return true, nil
 	}
 	// A cheap certificate: if any polynomial solver achieves <= K we are
@@ -36,9 +52,11 @@ func Decide(g *graph.Graph, k int) (bool, error) {
 			return false, err
 		}
 		if scheme.EffectiveCost(g) <= k {
+			cDecideCertificate.Inc()
 			return true, nil
 		}
 	}
+	cDecideExact.Inc()
 	eff, err := OptimalEffectiveCost(g)
 	if err != nil {
 		return false, err

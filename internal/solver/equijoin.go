@@ -5,6 +5,7 @@ import (
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
 )
 
 // Equijoin is the linear-time perfect pebbler of Theorems 3.2 and 4.1.
@@ -26,10 +27,12 @@ func (Equijoin) Name() string { return "equijoin" }
 
 // Solve implements Solver.
 func (Equijoin) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, equijoinComponentOrder)
+	return solvePerComponent(g, "equijoin", equijoinComponentOrder)
 }
 
-func equijoinComponentOrder(cg *graph.Graph) ([]int, error) {
+func equijoinComponentOrder(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	zz := sp.Start("zigzag_order")
+	defer zz.End()
 	left, right, err := completeBipartiteSides(cg)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/tsp"
 )
 
@@ -28,12 +29,14 @@ func (e Exact) Solve(g *graph.Graph) (core.Scheme, error) {
 	if limit == 0 {
 		limit = tsp.MaxExactCities
 	}
-	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+	return solvePerComponent(g, "exact", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		if cg.M() > limit {
 			return nil, fmt.Errorf("solver: component with %d edges exceeds exact limit %d", cg.M(), limit)
 		}
 		in := tsp.NewInstance(graph.LineGraph(cg))
+		ts := sp.Start("held_karp")
 		tour, _, err := tsp.Exact(in)
+		ts.End()
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,16 @@ import (
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/tsp"
+)
+
+// Auto route counters: which specialized solver the facade's default
+// solver actually dispatched to.
+var (
+	cAutoEquijoin = obs.Default.Counter("solver/auto/equijoin")
+	cAutoExact    = obs.Default.Counter("solver/auto/exact")
+	cAutoApprox   = obs.Default.Counter("solver/auto/approx")
 )
 
 // Greedy runs the nearest-neighbour TSP heuristic on each component's
@@ -18,9 +27,11 @@ func (Greedy) Name() string { return "greedy" }
 
 // Solve implements Solver.
 func (Greedy) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+	return solvePerComponent(g, "greedy", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
+		ts := sp.Start("nearest_neighbor")
 		tour, _ := tsp.NearestNeighbor(in)
+		ts.End()
 		return []int(tour), nil
 	})
 }
@@ -34,10 +45,14 @@ func (GreedyImproved) Name() string { return "greedy+2opt" }
 
 // Solve implements Solver.
 func (GreedyImproved) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+	return solvePerComponent(g, "greedy+2opt", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
+		ts := sp.Start("nearest_neighbor")
 		tour, _ := tsp.NearestNeighbor(in)
+		ts.End()
+		ts = sp.Start("two_opt")
 		tour, _ = tsp.TwoOptImprove(in, tour)
+		ts.End()
 		return []int(tour), nil
 	})
 }
@@ -50,9 +65,11 @@ func (PathCover) Name() string { return "path-cover" }
 
 // Solve implements Solver.
 func (PathCover) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+	return solvePerComponent(g, "path-cover", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
+		ts := sp.Start("path_cover")
 		tour, _ := tsp.GreedyPathCover(in)
+		ts.End()
 		return []int(tour), nil
 	})
 }
@@ -68,9 +85,11 @@ func (CycleCover) Name() string { return "cycle-cover" }
 
 // Solve implements Solver.
 func (CycleCover) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+	return solvePerComponent(g, "cycle-cover", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
+		ts := sp.Start("cycle_cover")
 		tour, _, err := tsp.CycleCoverTour(in)
+		ts.End()
 		if err != nil {
 			return nil, err
 		}
@@ -92,9 +111,11 @@ func (ExactBnB) Name() string { return "exact-bnb" }
 
 // Solve implements Solver.
 func (e ExactBnB) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, func(cg *graph.Graph) ([]int, error) {
+	return solvePerComponent(g, "exact-bnb", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
+		ts := sp.Start("branch_and_bound")
 		tour, _, exhausted := tsp.BranchAndBound(in, e.MaxNodes)
+		ts.End()
 		if !exhausted {
 			return nil, fmt.Errorf("solver: branch-and-bound node cap %d hit on component with %d edges", e.MaxNodes, cg.M())
 		}
@@ -119,6 +140,7 @@ func (Auto) Name() string { return "auto" }
 // Solve implements Solver.
 func (a Auto) Solve(g *graph.Graph) (core.Scheme, error) {
 	if IsEquijoinGraph(g) {
+		cAutoEquijoin.Inc()
 		return Equijoin{}.Solve(g)
 	}
 	limit := a.ExactLimit
@@ -133,8 +155,10 @@ func (a Auto) Solve(g *graph.Graph) (core.Scheme, error) {
 		}
 	}
 	if fits {
+		cAutoExact.Inc()
 		return Exact{MaxEdges: limit}.Solve(g)
 	}
+	cAutoApprox.Inc()
 	return Approx125{}.Solve(g)
 }
 

@@ -10,9 +10,26 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
+)
+
+// Observability: every Solve is a span tree (solver name -> phases ->
+// per-component solves) on the active tracer, and the per-phase timers
+// and counters below aggregate across solves for the -metrics snapshot.
+// Hot loops are untouched — timing wraps whole phases, counters flush
+// once per solve — so instrumentation stays invisible next to the solve
+// itself (the bench regression harness keeps that claim honest).
+var (
+	cSolves           = obs.Default.Counter("solver/solves")
+	cComponentsSolved = obs.Default.Counter("solver/components_solved")
+	cWorkersUsed      = obs.Default.Counter("solver/workers_used")
+	tSplit            = obs.Default.Timer("solver/phase/component_split")
+	tComponentSolve   = obs.Default.Timer("solver/phase/component_solve")
+	tSchemeBuild      = obs.Default.Timer("solver/phase/scheme_build")
 )
 
 // Parallelism bounds the worker pool that solvePerComponent fans
@@ -46,8 +63,9 @@ type Solver interface {
 
 // connectedOrderFunc computes an edge-visit order for one connected
 // component, given the component's subgraph. The order is in
-// component-local edge indices.
-type connectedOrderFunc func(cg *graph.Graph) ([]int, error)
+// component-local edge indices. sp is the component's trace span (nil
+// when tracing is off); solvers hang their phase spans off it.
+type connectedOrderFunc func(cg *graph.Graph, sp *obs.Span) ([]int, error)
 
 // solvePerComponent decomposes g into connected components, applies fn to
 // each edge-bearing component, stitches the local orders back into a
@@ -57,24 +75,40 @@ type connectedOrderFunc func(cg *graph.Graph) ([]int, error)
 // Components are embarrassingly parallel (Lemma 2.2): fn runs on a
 // bounded worker pool (see Parallelism) and the local orders are merged
 // back in component order, so the result is independent of scheduling.
-func solvePerComponent(g *graph.Graph, fn connectedOrderFunc) (core.Scheme, error) {
+func solvePerComponent(g *graph.Graph, name string, fn connectedOrderFunc) (core.Scheme, error) {
 	if g.M() == 0 {
 		return core.Scheme{}, nil
 	}
+	cSolves.Inc()
+	root := obs.StartSpan(name)
+	defer root.End()
+	root.SetInt("edges", int64(g.M()))
+
+	splitStart := time.Now()
+	splitSpan := root.Start("component_split")
 	g.Optimize() // one compact-index build serves every lookup below
 	comps := g.Components()
 
 	// Fast path: a single component spanning every vertex is already its
 	// own dense-id subgraph; skip the copy.
 	if len(comps) == 1 {
-		order, err := fn(g)
+		splitSpan.End()
+		tSplit.ObserveSince(splitStart)
+		cComponentsSolved.Inc()
+		cWorkersUsed.Inc()
+		solveStart := time.Now()
+		compSpan := root.Start("component_solve")
+		compSpan.SetInt("edges", int64(g.M()))
+		order, err := fn(g, compSpan)
+		compSpan.End()
+		tComponentSolve.Observe(time.Since(solveStart))
 		if err != nil {
 			return nil, err
 		}
 		if len(order) != g.M() {
 			return nil, fmt.Errorf("solver: component order covers %d of %d edges", len(order), g.M())
 		}
-		return core.SchemeFromEdgeOrder(g, order)
+		return schemeFromOrderTimed(root, g, order)
 	}
 
 	// Bucket vertices and edges by component in one pass each; anything
@@ -114,12 +148,26 @@ func solvePerComponent(g *graph.Graph, fn connectedOrderFunc) (core.Scheme, erro
 		}
 		jobs = append(jobs, job{ci: ci, cg: cg})
 	}
+	splitSpan.End()
+	tSplit.ObserveSince(splitStart)
+	cComponentsSolved.Add(int64(len(jobs)))
 
 	orders := make([][]int, len(jobs))
 	errs := make([]error, len(jobs))
-	if w := workerCount(len(jobs)); w <= 1 {
+	solveJob := func(ji int) {
+		start := time.Now()
+		compSpan := root.Start("component_solve")
+		compSpan.SetInt("component", int64(jobs[ji].ci))
+		compSpan.SetInt("edges", int64(jobs[ji].cg.M()))
+		orders[ji], errs[ji] = fn(jobs[ji].cg, compSpan)
+		compSpan.End()
+		tComponentSolve.Observe(time.Since(start))
+	}
+	w := workerCount(len(jobs))
+	cWorkersUsed.Add(int64(w))
+	if w <= 1 {
 		for ji := range jobs {
-			orders[ji], errs[ji] = fn(jobs[ji].cg)
+			solveJob(ji)
 		}
 	} else {
 		idx := make(chan int)
@@ -129,7 +177,7 @@ func solvePerComponent(g *graph.Graph, fn connectedOrderFunc) (core.Scheme, erro
 			go func() {
 				defer wg.Done()
 				for ji := range idx {
-					orders[ji], errs[ji] = fn(jobs[ji].cg)
+					solveJob(ji)
 				}
 			}()
 		}
@@ -152,7 +200,18 @@ func solvePerComponent(g *graph.Graph, fn connectedOrderFunc) (core.Scheme, erro
 			globalOrder = append(globalOrder, edgesByComp[jb.ci][li])
 		}
 	}
-	return core.SchemeFromEdgeOrder(g, globalOrder)
+	return schemeFromOrderTimed(root, g, globalOrder)
+}
+
+// schemeFromOrderTimed is core.SchemeFromEdgeOrder wrapped in the
+// scheme_build phase accounting.
+func schemeFromOrderTimed(root *obs.Span, g *graph.Graph, order []int) (core.Scheme, error) {
+	start := time.Now()
+	sp := root.Start("scheme_build")
+	scheme, err := core.SchemeFromEdgeOrder(g, order)
+	sp.End()
+	tSchemeBuild.Observe(time.Since(start))
+	return scheme, err
 }
 
 // Naive is the baseline solver realizing Lemma 2.1's 2m upper bound: it

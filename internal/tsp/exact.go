@@ -3,6 +3,16 @@ package tsp
 import (
 	"fmt"
 	"math"
+
+	"joinpebble/internal/obs"
+)
+
+// Exact-search effort counters: the intermediate quantities the solvers'
+// exponential bounds talk about, accumulated in locals inside the search
+// loops and flushed once per call so the hot loops stay counter-free.
+var (
+	cHeldKarpStates = obs.Default.Counter("tsp/heldkarp/states_expanded")
+	cBnBNodes       = obs.Default.Counter("tsp/bnb/nodes_expanded")
 )
 
 // MaxExactCities bounds the Held–Karp solver: the DP table has
@@ -49,6 +59,7 @@ func Exact(in *Instance) (Tour, int, error) {
 		}
 	}
 
+	var states int64
 	for s := 1; s < size; s++ {
 		base := s * n
 		for v := 0; v < n; v++ {
@@ -56,6 +67,7 @@ func Exact(in *Instance) (Tour, int, error) {
 			if cur == inf || s&(1<<v) == 0 {
 				continue
 			}
+			states++
 			for u := 0; u < n; u++ {
 				if s&(1<<u) != 0 {
 					continue
@@ -69,6 +81,8 @@ func Exact(in *Instance) (Tour, int, error) {
 			}
 		}
 	}
+
+	cHeldKarpStates.Add(states)
 
 	full := size - 1
 	best, bestEnd := uint16(inf), -1
@@ -162,6 +176,7 @@ func BranchAndBound(in *Instance, maxNodes int64) (Tour, int, bool) {
 		path = path[:0]
 		used[s] = false
 	}
+	cBnBNodes.Add(nodes)
 	return bestTour, bestCost, exhausted
 }
 
