@@ -27,8 +27,8 @@ import (
 	"time"
 
 	"joinpebble/internal/bench"
+	"joinpebble/internal/engine/cmdutil"
 	"joinpebble/internal/obs"
-	"joinpebble/internal/obs/obshttp"
 )
 
 func main() {
@@ -40,27 +40,19 @@ func main() {
 	runFilter := flag.String("run", "", "only run series whose name contains this substring")
 	benchtime := flag.String("benchtime", "", "per-series time budget, e.g. 2s or 1x (default: testing's 1s)")
 	noCompare := flag.Bool("nocompare", false, "skip the baseline comparison")
-	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
-	tracePath := flag.String("trace", "", "write the span trace as JSONL to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	obsFlags := cmdutil.BindFlags(flag.CommandLine, "bench", true)
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		addr, err := obshttp.Serve(*pprofAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench: pprof:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "bench: pprof/expvar on http://%s/debug/\n", addr)
+	if err := obsFlags.Start(); err != nil {
+		cmdutil.Exit("bench", err)
 	}
-	if *tracePath != "" {
-		obs.SetTracer(obs.NewTracer())
+	if flag.NArg() > 0 {
+		cmdutil.Exit("bench", cmdutil.Usagef("unexpected arguments %v", flag.Args()))
 	}
 
 	if *benchtime != "" {
 		if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
-			fmt.Fprintln(os.Stderr, "bench: bad -benchtime:", err)
-			os.Exit(2)
+			cmdutil.Exit("bench", cmdutil.Usagef("bad -benchtime: %v", err))
 		}
 	}
 
@@ -99,8 +91,7 @@ func main() {
 		fmt.Printf("%-44s %12.0f ns/op %10d allocs/op %6d iters\n", s.Name, s.NsPerOp, s.AllocsPerOp, s.Iterations)
 	}
 	if len(report.Series) == 0 {
-		fmt.Fprintln(os.Stderr, "bench: -run matched no series")
-		os.Exit(2)
+		cmdutil.Exit("bench", cmdutil.Usagef("-run matched no series"))
 	}
 	// The suite has run by now, so the snapshot carries every counter the
 	// measured code paths bumped — the report records work done, not just
@@ -113,19 +104,8 @@ func main() {
 	}
 	fmt.Println("wrote", path)
 
-	if *metricsPath != "" {
-		if err := obs.Default.WriteJSONFile(*metricsPath); err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, "bench: wrote metrics to", *metricsPath)
-	}
-	if *tracePath != "" {
-		if err := writeTrace(*tracePath); err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, "bench: wrote trace to", *tracePath)
+	if err := obsFlags.Finish(); err != nil {
+		cmdutil.Exit("bench", err)
 	}
 
 	if *noCompare || *legacy {
@@ -160,20 +140,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("no regressions")
-}
-
-func writeTrace(path string) error {
-	tr := obs.ActiveTracer()
-	if tr == nil {
-		return fmt.Errorf("bench: no active tracer")
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -31,8 +31,8 @@ import (
 	"time"
 
 	"joinpebble/internal/bench"
+	"joinpebble/internal/engine/cmdutil"
 	"joinpebble/internal/obs"
-	"joinpebble/internal/obs/obshttp"
 )
 
 type outcome struct {
@@ -48,21 +48,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV (one table after another)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 	timing := flag.Bool("timing", true, "print per-experiment and per-phase tables to stderr")
-	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
-	tracePath := flag.String("trace", "", "write the span trace as JSONL to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	obsFlags := cmdutil.BindFlags(flag.CommandLine, "experiments", true)
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		addr, err := obshttp.Serve(*pprofAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "experiments: pprof/expvar on http://%s/debug/\n", addr)
+	if err := obsFlags.Start(); err != nil {
+		cmdutil.Exit("experiments", err)
 	}
-	if *tracePath != "" {
-		obs.SetTracer(obs.NewTracer())
+	if flag.NArg() > 0 {
+		cmdutil.Exit("experiments", cmdutil.Usagef("unexpected arguments %v", flag.Args()))
 	}
 
 	var selected []bench.Experiment
@@ -72,8 +65,7 @@ func main() {
 		for _, id := range strings.Split(*runList, ",") {
 			e, ok := bench.Find(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", id)
-				os.Exit(1)
+				cmdutil.Exit("experiments", cmdutil.Usagef("unknown id %q", id))
 			}
 			selected = append(selected, e)
 		}
@@ -107,19 +99,8 @@ func main() {
 		printTiming(selected, results, *jobs)
 		printPhases()
 	}
-	if *metricsPath != "" {
-		if err := obs.Default.WriteJSONFile(*metricsPath); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, "experiments: wrote metrics to", *metricsPath)
-	}
-	if *tracePath != "" {
-		if err := writeTrace(*tracePath); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, "experiments: wrote trace to", *tracePath)
+	if err := obsFlags.Finish(); err != nil {
+		cmdutil.Exit("experiments", err)
 	}
 	if failed > 0 {
 		os.Exit(1)
@@ -182,22 +163,6 @@ func printPhases() {
 	if err := pt.Render(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}
-}
-
-func writeTrace(path string) error {
-	tr := obs.ActiveTracer()
-	if tr == nil {
-		return fmt.Errorf("experiments: no active tracer")
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func formatBytes(b uint64) string {

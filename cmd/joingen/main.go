@@ -1,14 +1,17 @@
-// Command joingen generates join workloads and their join graphs.
+// Command joingen generates join workloads and their join graphs
+// through the engine's workload → instance pipeline.
 //
 // Usage:
 //
-//	joingen -kind equijoin    [-left 100 -right 100 -domain 20 -skew 0.5] [-seed 1] [-out graph|relations]
+//	joingen -kind equijoin    [-left 100 -right 100 -domain 20 -skew 0.5] [-seed 1] [-out graph|relations|dot|plan]
 //	joingen -kind containment [-left 50 -right 50 -universe 200 -leftmax 3 -rightmax 8 -correlated]
 //	joingen -kind spatial     [-left 100 -right 100 -span 100 -extent 5 -clusters 0]
 //	joingen -kind spider      [-n 5]
 //
 // With -out graph (default) it writes the join graph in the text format
-// cmd/pebble reads; with -out relations it writes the two relations.
+// cmd/pebble reads; -out relations writes the two relations; -out dot
+// writes Graphviz; -out plan prints the engine planner's routing
+// decision for the instance without solving it.
 package main
 
 import (
@@ -17,85 +20,116 @@ import (
 	"io"
 	"os"
 
+	"joinpebble/internal/engine"
+	"joinpebble/internal/engine/cmdutil"
 	"joinpebble/internal/family"
 	"joinpebble/internal/graph"
-	"joinpebble/internal/join"
-	"joinpebble/internal/obs"
-	"joinpebble/internal/relation"
 	"joinpebble/internal/workload"
 )
 
-func main() {
-	var (
-		kind       = flag.String("kind", "equijoin", "workload: equijoin, containment, spatial, spider")
-		out        = flag.String("out", "graph", "output: graph (join graph), relations, or dot (Graphviz)")
-		seed       = flag.Int64("seed", 1, "generator seed")
-		left       = flag.Int("left", 100, "left relation size")
-		right      = flag.Int("right", 100, "right relation size")
-		domain     = flag.Int64("domain", 20, "equijoin: distinct values")
-		skew       = flag.Float64("skew", 0, "equijoin: zipf skew (0 = uniform)")
-		universe   = flag.Int("universe", 200, "containment: element universe")
-		leftMax    = flag.Int("leftmax", 3, "containment: max probe-set size")
-		rightMax   = flag.Int("rightmax", 8, "containment: max stored-set size")
-		correlated = flag.Bool("correlated", true, "containment: draw probes as subsets of stored sets")
-		span       = flag.Float64("span", 100, "spatial: universe side length")
-		extent     = flag.Float64("extent", 5, "spatial: max rectangle side")
-		clusters   = flag.Int("clusters", 0, "spatial: cluster count (0 = uniform)")
-		n          = flag.Int("n", 5, "spider: family parameter")
-		metrics    = flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
-	)
-	flag.Parse()
-	err := run(os.Stdout, *kind, *out, *seed, *left, *right, *domain, *skew,
-		*universe, *leftMax, *rightMax, *correlated, *span, *extent, *clusters, *n)
-	if err == nil && *metrics != "" {
-		err = obs.Default.WriteJSONFile(*metrics)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "joingen:", err)
-		os.Exit(1)
-	}
+// config carries the parsed flags; one field per workload knob.
+type config struct {
+	kind, out  string
+	seed       int64
+	left       int
+	right      int
+	domain     int64
+	skew       float64
+	universe   int
+	leftMax    int
+	rightMax   int
+	correlated bool
+	span       float64
+	extent     float64
+	clusters   int
+	n          int
 }
 
-func run(w io.Writer, kind, out string, seed int64, left, right int, domain int64, skew float64,
-	universe, leftMax, rightMax int, correlated bool, span, extent float64, clusters, n int) error {
+func main() {
+	var c config
+	flag.StringVar(&c.kind, "kind", "equijoin", "workload: equijoin, containment, spatial, spider")
+	flag.StringVar(&c.out, "out", "graph", "output: graph (join graph), relations, dot (Graphviz), or plan (engine routing)")
+	flag.Int64Var(&c.seed, "seed", 1, "generator seed")
+	flag.IntVar(&c.left, "left", 100, "left relation size")
+	flag.IntVar(&c.right, "right", 100, "right relation size")
+	flag.Int64Var(&c.domain, "domain", 20, "equijoin: distinct values")
+	flag.Float64Var(&c.skew, "skew", 0, "equijoin: zipf skew (0 = uniform)")
+	flag.IntVar(&c.universe, "universe", 200, "containment: element universe")
+	flag.IntVar(&c.leftMax, "leftmax", 3, "containment: max probe-set size")
+	flag.IntVar(&c.rightMax, "rightmax", 8, "containment: max stored-set size")
+	flag.BoolVar(&c.correlated, "correlated", true, "containment: draw probes as subsets of stored sets")
+	flag.Float64Var(&c.span, "span", 100, "spatial: universe side length")
+	flag.Float64Var(&c.extent, "extent", 5, "spatial: max rectangle side")
+	flag.IntVar(&c.clusters, "clusters", 0, "spatial: cluster count (0 = uniform)")
+	flag.IntVar(&c.n, "n", 5, "spider: family parameter")
+	obsFlags := cmdutil.BindFlags(flag.CommandLine, "joingen", false)
+	flag.Parse()
 
-	var l, r *relation.Relation
-	var b *graph.Bipartite
-	switch kind {
-	case "equijoin":
-		wl := workload.Equijoin{LeftSize: left, RightSize: right, Domain: domain, Skew: skew}
-		l, r = wl.Generate(seed)
-		b = join.EquiGraph(l.Ints(), r.Ints())
-	case "containment":
-		wl := workload.SetContainment{LeftSize: left, RightSize: right, Universe: universe,
-			LeftMax: leftMax, RightMax: rightMax, Correlated: correlated}
-		l, r = wl.Generate(seed)
-		b = join.Graph(l.Sets(), r.Sets(), join.Contains)
-	case "spatial":
-		wl := workload.Spatial{LeftSize: left, RightSize: right, Span: span,
-			MaxExtent: extent, Clusters: clusters}
-		l, r = wl.Generate(seed)
-		b = join.Graph(l.Rects(), r.Rects(), join.Overlaps)
-	case "spider":
-		b = family.Spider(n)
-	default:
-		return fmt.Errorf("unknown kind %q", kind)
+	if err := obsFlags.Start(); err != nil {
+		cmdutil.Exit("joingen", err)
 	}
+	if flag.NArg() > 0 {
+		cmdutil.Exit("joingen", cmdutil.Usagef("unexpected arguments %v", flag.Args()))
+	}
+	err := run(os.Stdout, c)
+	if err == nil {
+		err = obsFlags.Finish()
+	}
+	cmdutil.Exit("joingen", err)
+}
 
-	switch out {
+// instance builds the engine instance the flags describe. The workload
+// structs carry their own family names, so the engine resolves the
+// predicate and builds the join graph — no per-predicate graph plumbing
+// here.
+func (c config) instance() (*engine.Instance, error) {
+	var w engine.Workload
+	switch c.kind {
+	case "equijoin":
+		w = workload.Equijoin{LeftSize: c.left, RightSize: c.right, Domain: c.domain, Skew: c.skew}
+	case "containment":
+		w = workload.SetContainment{LeftSize: c.left, RightSize: c.right, Universe: c.universe,
+			LeftMax: c.leftMax, RightMax: c.rightMax, Correlated: c.correlated}
+	case "spatial":
+		w = workload.Spatial{LeftSize: c.left, RightSize: c.right, Span: c.span,
+			MaxExtent: c.extent, Clusters: c.clusters}
+	case "spider":
+		return engine.FromBipartite("spider", family.Spider(c.n)), nil
+	default:
+		return nil, cmdutil.Usagef("unknown kind %q", c.kind)
+	}
+	return engine.Generate(w, c.seed)
+}
+
+func run(w io.Writer, c config) error {
+	inst, err := c.instance()
+	if err != nil {
+		return err
+	}
+	switch c.out {
 	case "graph":
-		return graph.WriteBipartite(w, b)
+		return graph.WriteBipartite(w, inst.Bip)
 	case "dot":
-		return graph.WriteDOTBipartite(w, b, "JoinGraph")
+		return graph.WriteDOTBipartite(w, inst.Bip, "JoinGraph")
 	case "relations":
-		if l == nil {
-			return fmt.Errorf("kind %q has no relation output; use -out graph", kind)
+		if inst.Left == nil {
+			return cmdutil.Usagef("kind %q has no relation output; use -out graph", c.kind)
 		}
-		if err := l.Write(w); err != nil {
+		if err := inst.Left.Write(w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
-		return r.Write(w)
+		return inst.Right.Write(w)
+	case "plan":
+		planner := engine.Planner{}
+		plan := planner.Plan(inst)
+		g := inst.Graph()
+		fmt.Fprintf(w, "family     %s\n", inst.Family)
+		fmt.Fprintf(w, "size       %d vertices, %d edges\n", g.N(), g.M())
+		fmt.Fprintf(w, "route      %s\n", plan.Route)
+		fmt.Fprintf(w, "solver     %s\n", plan.Solver.Name())
+		fmt.Fprintf(w, "reason     %s\n", plan.Reason)
+		return nil
 	}
-	return fmt.Errorf("unknown output %q", out)
+	return cmdutil.Usagef("unknown output %q", c.out)
 }

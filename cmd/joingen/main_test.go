@@ -4,14 +4,25 @@ import (
 	"strings"
 	"testing"
 
+	"joinpebble/internal/engine/cmdutil"
 	"joinpebble/internal/graph"
 )
+
+// cfg returns the flag defaults scaled down for tests, mirroring the
+// defaults registered in main.
+func cfg(kind, out string, n int) config {
+	return config{
+		kind: kind, out: out, seed: 1,
+		left: 20, right: 20, domain: 5, skew: 0,
+		universe: 100, leftMax: 3, rightMax: 8, correlated: true,
+		span: 50, extent: 5, clusters: 0, n: n,
+	}
+}
 
 func gen(t *testing.T, kind, out string, n int) string {
 	t.Helper()
 	var sb strings.Builder
-	err := run(&sb, kind, out, 1, 20, 20, 5, 0, 100, 3, 8, true, 50, 5, 0, n)
-	if err != nil {
+	if err := run(&sb, cfg(kind, out, n)); err != nil {
 		t.Fatal(err)
 	}
 	return sb.String()
@@ -53,16 +64,29 @@ func TestGenerateSpatialGraph(t *testing.T) {
 	}
 }
 
+func TestGeneratePlanOutput(t *testing.T) {
+	out := gen(t, "equijoin", "plan", 0)
+	for _, want := range []string{"family     equijoin", "route      perfect", "solver     equijoin", "complete-bipartite"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in plan output:\n%s", want, out)
+		}
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "bogus", "graph", 1, 5, 5, 5, 0, 10, 2, 4, false, 10, 2, 0, 3); err == nil {
-		t.Fatal("unknown kind must fail")
-	}
-	if err := run(&sb, "spider", "relations", 1, 5, 5, 5, 0, 10, 2, 4, false, 10, 2, 0, 3); err == nil {
-		t.Fatal("spider has no relations output")
-	}
-	if err := run(&sb, "equijoin", "bogus", 1, 5, 5, 5, 0, 10, 2, 4, false, 10, 2, 0, 3); err == nil {
-		t.Fatal("unknown output must fail")
+	for name, c := range map[string]config{
+		"unknown kind":        cfg("bogus", "graph", 3),
+		"spider relations":    cfg("spider", "relations", 3),
+		"unknown output kind": cfg("equijoin", "bogus", 3),
+	} {
+		err := run(&sb, c)
+		if err == nil {
+			t.Fatalf("%s must fail", name)
+		}
+		if !cmdutil.IsUsage(err) {
+			t.Fatalf("%s: want usage error, got %v", name, err)
+		}
 	}
 }
 

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"joinpebble/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// pebbleBin is the compiled command under test; golden tests exercise the
+// real binary so flag parsing, exit codes and -metrics output are covered
+// end to end.
+var pebbleBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "pebble-golden")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pebbleBin = filepath.Join(dir, "pebble")
+	if out, err := exec.Command("go", "build", "-o", pebbleBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building pebble: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run with -update to accept):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// normalizeMetrics reduces a -metrics JSON snapshot to its sorted metric
+// names: values are timing- and iteration-dependent, the instrument set is
+// the stable contract.
+func normalizeMetrics(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("-metrics output is not a snapshot: %v\n%s", err, raw)
+	}
+	var buf bytes.Buffer
+	section := func(kind string, names []string) {
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&buf, "%s %s\n", kind, n)
+		}
+	}
+	counters := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		counters = append(counters, n)
+	}
+	timers := make([]string, 0, len(snap.Timers))
+	for n := range snap.Timers {
+		timers = append(timers, n)
+	}
+	histograms := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		histograms = append(histograms, n)
+	}
+	section("counter", counters)
+	section("timer", timers)
+	section("histogram", histograms)
+	return buf.Bytes()
+}
+
+func TestGoldenSolveSpider(t *testing.T) {
+	out, err := exec.Command(pebbleBin, "-solver", "exact", "-scheme", "testdata/spider3.txt").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "solve_spider", out)
+}
+
+func TestGoldenSolvePathAuto(t *testing.T) {
+	out, err := exec.Command(pebbleBin, "testdata/path4.txt").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "solve_path_auto", out)
+}
+
+func TestGoldenDecide(t *testing.T) {
+	out, err := exec.Command(pebbleBin, "-decide", "7", "testdata/spider3.txt").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "decide_spider", out)
+}
+
+func TestGoldenMetricsJSON(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "m.json")
+	if out, err := exec.Command(pebbleBin, "-metrics", mpath, "testdata/spider3.txt").CombinedOutput(); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics_names", normalizeMetrics(t, raw))
+}
+
+// TestUsageErrorsExitTwo pins the CLI error contract: usage errors exit 2
+// with a message on stderr, runtime errors exit 1.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		code int
+	}{
+		"unknown solver": {[]string{"-solver", "bogus", "testdata/spider3.txt"}, 2},
+		"extra args":     {[]string{"testdata/spider3.txt", "extra"}, 2},
+		"missing file":   {[]string{"/nonexistent/graph.txt"}, 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			cmd := exec.Command(pebbleBin, tc.args...)
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("want exit error, got %v", err)
+			}
+			if ee.ExitCode() != tc.code {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", ee.ExitCode(), tc.code, stderr.String())
+			}
+			if !bytes.HasPrefix(stderr.Bytes(), []byte("pebble: ")) {
+				t.Fatalf("stderr must name the command: %q", stderr.String())
+			}
+		})
+	}
+}

@@ -8,87 +8,69 @@
 //
 //	pebble [-solver auto] [-scheme] [file]
 //
-// It prints the verified pebbling cost π̂, the effective cost π, the
-// Lemma 2.1 bounds, and whether the scheme is perfect; -scheme also
+// The instance flows through the engine pipeline: it is ingested as an
+// engine.Instance and routed by the Planner (perfect pebbler on
+// complete-bipartite components, exact under budget, 1.25-approximation
+// otherwise); -solver overrides the routing. The output reports the
+// verified pebbling cost π̂, the effective cost π, the Lemma 2.1 bounds,
+// the route taken, and whether the scheme is perfect; -scheme also
 // prints the configuration sequence.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"joinpebble/internal/core"
+	"joinpebble/internal/engine"
+	"joinpebble/internal/engine/cmdutil"
 	"joinpebble/internal/graph"
-	"joinpebble/internal/obs"
 	"joinpebble/internal/solver"
 )
 
 func main() {
-	solverName := flag.String("solver", "auto", "solver: auto, exact, exact-bnb, approx-1.25, cycle-cover, greedy, greedy+2opt, path-cover, naive, equijoin, matching")
+	solverName := flag.String("solver", "auto", "solver: auto routes via the engine planner; see -solver help for names")
 	showScheme := flag.Bool("scheme", false, "print the full configuration sequence")
 	decideK := flag.Int("decide", -1, "answer PEBBLE(D): is π(G) <= K? (-1 disables)")
-	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file")
-	tracePath := flag.String("trace", "", "write the span trace as JSONL to this file")
+	obsFlags := cmdutil.BindFlags(flag.CommandLine, "pebble", false)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pebble [flags] [file]\nreads the graph from stdin when no file is given\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	if *tracePath != "" {
-		obs.SetTracer(obs.NewTracer())
+	if err := obsFlags.Start(); err != nil {
+		cmdutil.Exit("pebble", err)
+	}
+	if flag.NArg() > 1 {
+		cmdutil.Exit("pebble", cmdutil.Usagef("at most one input file, got %d args", flag.NArg()))
 	}
 	err := run(os.Stdout, *solverName, *showScheme, *decideK, flag.Arg(0))
-	if err == nil && *metricsPath != "" {
-		err = obs.Default.WriteJSONFile(*metricsPath)
+	if err == nil {
+		err = obsFlags.Finish()
 	}
-	if err == nil && *tracePath != "" {
-		err = writeTrace(*tracePath)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pebble:", err)
-		os.Exit(1)
-	}
-}
-
-func writeTrace(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := obs.ActiveTracer().WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	cmdutil.Exit("pebble", err)
 }
 
 func run(w io.Writer, solverName string, showScheme bool, decideK int, path string) error {
-	var in io.Reader = os.Stdin
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
-	}
-	v, err := graph.Read(in)
+	in, err := readInstance(path)
 	if err != nil {
 		return err
 	}
-	var g *graph.Graph
-	switch t := v.(type) {
-	case *graph.Graph:
-		g = t
-	case *graph.Bipartite:
-		g = t.Graph()
+
+	planner := engine.Planner{}
+	if solverName != "auto" {
+		s, err := solver.ByName(solverName)
+		if err != nil {
+			return cmdutil.Usagef("%v", err)
+		}
+		planner.Solver = s
 	}
 
 	if decideK >= 0 {
-		ok, err := solver.Decide(g, decideK)
+		ok, err := planner.Decide(context.Background(), in, decideK)
 		if err != nil {
 			return err
 		}
@@ -96,39 +78,50 @@ func run(w io.Writer, solverName string, showScheme bool, decideK int, path stri
 		return nil
 	}
 
-	s, err := pickSolver(solverName)
+	res, err := planner.Run(context.Background(), in)
 	if err != nil {
 		return err
 	}
-	scheme, cost, err := solver.SolveAndVerify(s, g)
-	if err != nil {
-		return err
-	}
-	lo, hi := core.LowerBound(g), core.UpperBound(g)
-	eff := scheme.EffectiveCost(g)
-	fmt.Fprintf(w, "vertices        %d\n", g.N())
-	fmt.Fprintf(w, "edges (m)       %d\n", g.M())
-	fmt.Fprintf(w, "components (β₀) %d\n", core.Betti0(g))
-	fmt.Fprintf(w, "solver          %s\n", s.Name())
-	fmt.Fprintf(w, "cost π̂          %d   (bounds: %d..%d)\n", cost, lo, hi)
-	fmt.Fprintf(w, "effective π     %d   (m = %d)\n", eff, g.M())
-	fmt.Fprintf(w, "perfect         %v\n", eff == g.M())
+	fmt.Fprintf(w, "vertices        %d\n", res.Vertices)
+	fmt.Fprintf(w, "edges (m)       %d\n", res.Edges)
+	fmt.Fprintf(w, "components (β₀) %d\n", res.Components)
+	fmt.Fprintf(w, "family          %s\n", res.Family)
+	fmt.Fprintf(w, "solver          %s\n", res.Solver)
+	fmt.Fprintf(w, "route           %s   (%s)\n", res.Route, res.Reason)
+	fmt.Fprintf(w, "cost π̂          %d   (bounds: %d..%d)\n", res.Cost, res.LowerBound, res.UpperBound)
+	fmt.Fprintf(w, "effective π     %d   (m = %d)\n", res.EffectiveCost, res.Edges)
+	fmt.Fprintf(w, "perfect         %v\n", res.Perfect)
 	if showScheme {
 		fmt.Fprintln(w, "scheme:")
-		for i, c := range scheme {
+		for i, c := range res.Scheme {
 			fmt.Fprintf(w, "  %4d  %v\n", i+1, c)
 		}
 	}
 	return nil
 }
 
-func pickSolver(name string) (solver.Solver, error) {
-	all := append(solver.All(),
-		solver.Equijoin{}, solver.MatchingSolver{}, solver.ExactBnB{}, solver.Auto{})
-	for _, s := range all {
-		if s.Name() == name {
-			return s, nil
+// readInstance ingests the graph from path (stdin when empty) as an
+// engine instance: bipartite inputs keep their join-graph structure,
+// general graphs flow in unguaranteed.
+func readInstance(path string) (*engine.Instance, error) {
+	var in io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
 		}
+		defer f.Close()
+		in = f
 	}
-	return nil, fmt.Errorf("unknown solver %q", name)
+	v, err := graph.Read(in)
+	if err != nil {
+		return nil, err
+	}
+	switch t := v.(type) {
+	case *graph.Bipartite:
+		return engine.FromBipartite("bipartite", t), nil
+	case *graph.Graph:
+		return engine.FromGraph(t), nil
+	}
+	return nil, fmt.Errorf("pebble: unsupported input type %T", v)
 }

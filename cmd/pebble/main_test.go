@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"joinpebble/internal/engine/cmdutil"
+	"joinpebble/internal/solver"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -45,8 +48,12 @@ func TestRunGeneralGraph(t *testing.T) {
 func TestRunUnknownSolver(t *testing.T) {
 	path := writeTemp(t, "graph 2\ne 0 1\n")
 	var sb strings.Builder
-	if err := run(&sb, "bogus", false, -1, path); err == nil {
+	err := run(&sb, "bogus", false, -1, path)
+	if err == nil {
 		t.Fatal("unknown solver must error")
+	}
+	if !cmdutil.IsUsage(err) {
+		t.Fatalf("unknown solver should be a usage error, got %v", err)
 	}
 }
 
@@ -65,11 +72,23 @@ func TestRunEquijoinSolverRejectsHardGraph(t *testing.T) {
 	}
 }
 
-func TestPickSolverNames(t *testing.T) {
+func TestNamedSolversResolve(t *testing.T) {
 	for _, name := range []string{"auto", "exact", "exact-bnb", "approx-1.25", "greedy", "cycle-cover", "equijoin", "matching", "naive"} {
-		if _, err := pickSolver(name); err != nil {
+		if _, err := solver.ByName(name); err != nil {
 			t.Errorf("solver %q not found: %v", name, err)
 		}
+	}
+}
+
+func TestRunReportsRoute(t *testing.T) {
+	// A path graph is not complete bipartite, fits the exact budget.
+	path := writeTemp(t, "graph 4\ne 0 1\ne 1 2\ne 2 3\n")
+	var sb strings.Builder
+	if err := run(&sb, "auto", false, -1, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "route           exact") {
+		t.Fatalf("missing route line:\n%s", sb.String())
 	}
 }
 

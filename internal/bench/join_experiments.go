@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"joinpebble/internal/engine"
 	"joinpebble/internal/graph"
 	"joinpebble/internal/join"
 	"joinpebble/internal/sets"
@@ -82,61 +83,71 @@ func E15Algorithms() (*Table, error) {
 		Claim:  "equijoin algorithms realize (near-)perfect pebblings; spatial and containment algorithms pay jumps (§1, §5)",
 		Header: []string{"workload", "algorithm", "m", "π̂ emitted", "π emitted", "jumps", "perfect"},
 	}
-	audit := func(workloadName, algo string, b *graph.Bipartite, pairs []join.Pair) error {
+	// Each workload flows through the engine pipeline: Generate builds the
+	// instance (relations + join graph + guarantees), AuditPairs scores an
+	// algorithm's emission order against it — no per-predicate graph
+	// plumbing here.
+	audit := func(in *engine.Instance, algo string, pairs []join.Pair) error {
 		if len(pairs) == 0 {
 			return nil
 		}
-		a, err := join.AuditPairs(b, pairs)
+		a, err := in.AuditPairs(pairs)
 		if err != nil {
 			return err
 		}
-		t.AddRow(workloadName, algo, a.Pairs, a.Cost, a.EffectiveCost, a.Jumps, a.Perfect)
+		t.AddRow(in.Family, algo, a.Pairs, a.Cost, a.EffectiveCost, a.Jumps, a.Perfect)
 		return nil
 	}
 
 	// Equijoin workload.
-	eq := workload.Equijoin{LeftSize: 300, RightSize: 300, Domain: 40, Skew: 0.8}
-	le, re := eq.Generate(15)
-	bEq := join.Graph(le.Ints(), re.Ints(), join.EqInt)
-	if err := audit("equijoin", "sort-merge (zigzag)", bEq, join.SortMergeZigzag(le.Ints(), re.Ints())); err != nil {
+	eqIn, err := engine.Generate(workload.Equijoin{LeftSize: 300, RightSize: 300, Domain: 40, Skew: 0.8}, 15)
+	if err != nil {
 		return nil, err
 	}
-	if err := audit("equijoin", "sort-merge (rewind)", bEq, join.SortMerge(le.Ints(), re.Ints())); err != nil {
+	le, re := eqIn.Left.Ints(), eqIn.Right.Ints()
+	if err := audit(eqIn, "sort-merge (zigzag)", join.SortMergeZigzag(le, re)); err != nil {
 		return nil, err
 	}
-	if err := audit("equijoin", "hash join", bEq, join.HashJoin(le.Ints(), re.Ints())); err != nil {
+	if err := audit(eqIn, "sort-merge (rewind)", join.SortMerge(le, re)); err != nil {
+		return nil, err
+	}
+	if err := audit(eqIn, "hash join", join.HashJoin(le, re)); err != nil {
 		return nil, err
 	}
 
 	// Set-containment workload.
-	sc := workload.SetContainment{LeftSize: 120, RightSize: 120, Universe: 400,
-		LeftMax: 3, RightMax: 9, Correlated: true}
-	ls, rs := sc.Generate(16)
-	bSc := join.Graph(ls.Sets(), rs.Sets(), join.Contains)
-	if err := audit("containment", "nested loop", bSc, join.NestedLoop(ls.Sets(), rs.Sets(), join.Contains)); err != nil {
+	scIn, err := engine.Generate(workload.SetContainment{LeftSize: 120, RightSize: 120, Universe: 400,
+		LeftMax: 3, RightMax: 9, Correlated: true}, 16)
+	if err != nil {
 		return nil, err
 	}
-	if err := audit("containment", "signature NL", bSc, join.SignatureNestedLoop(ls.Sets(), rs.Sets())); err != nil {
+	ls, rs := scIn.Left.Sets(), scIn.Right.Sets()
+	if err := audit(scIn, "nested loop", join.NestedLoop(ls, rs, join.Contains)); err != nil {
 		return nil, err
 	}
-	if err := audit("containment", "inverted index", bSc, join.InvertedIndexJoin(ls.Sets(), rs.Sets())); err != nil {
+	if err := audit(scIn, "signature NL", join.SignatureNestedLoop(ls, rs)); err != nil {
 		return nil, err
 	}
-	if err := audit("containment", "partitioned", bSc, join.PartitionedSetJoin(ls.Sets(), rs.Sets(), 8)); err != nil {
+	if err := audit(scIn, "inverted index", join.InvertedIndexJoin(ls, rs)); err != nil {
+		return nil, err
+	}
+	if err := audit(scIn, "partitioned", join.PartitionedSetJoin(ls, rs, 8)); err != nil {
 		return nil, err
 	}
 
 	// Spatial workload.
-	sp := workload.Spatial{LeftSize: 150, RightSize: 150, Span: 60, MaxExtent: 6, Clusters: 0}
-	lr, rr := sp.Generate(17)
-	bSp := join.Graph(lr.Rects(), rr.Rects(), join.Overlaps)
-	if err := audit("spatial", "nested loop", bSp, join.NestedLoop(lr.Rects(), rr.Rects(), join.Overlaps)); err != nil {
+	spIn, err := engine.Generate(workload.Spatial{LeftSize: 150, RightSize: 150, Span: 60, MaxExtent: 6, Clusters: 0}, 17)
+	if err != nil {
 		return nil, err
 	}
-	if err := audit("spatial", "plane sweep", bSp, join.SweepJoin(lr.Rects(), rr.Rects())); err != nil {
+	lr, rr := spIn.Left.Rects(), spIn.Right.Rects()
+	if err := audit(spIn, "nested loop", join.NestedLoop(lr, rr, join.Overlaps)); err != nil {
 		return nil, err
 	}
-	if err := audit("spatial", "R-tree probe", bSp, join.RTreeJoin(lr.Rects(), rr.Rects(), 8)); err != nil {
+	if err := audit(spIn, "plane sweep", join.SweepJoin(lr, rr)); err != nil {
+		return nil, err
+	}
+	if err := audit(spIn, "R-tree probe", join.RTreeJoin(lr, rr, 8)); err != nil {
 		return nil, err
 	}
 	t.Notes = append(t.Notes,

@@ -1,0 +1,138 @@
+// Package cmdutil holds the plumbing every joinpebble command shares:
+// usage-error classification with consistent exit codes, and the
+// -metrics/-trace/-pprof observability flags with their write-out logic.
+// Keeping it beside the engine makes the four CLIs thin adapters over
+// the engine pipeline instead of four diverging copies of the same glue.
+package cmdutil
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"joinpebble/internal/obs"
+	"joinpebble/internal/obs/obshttp"
+)
+
+// UsageError marks a command-line usage mistake (unknown flag value,
+// bad positional argument) as opposed to a runtime failure. Commands
+// exit 2 for usage errors — matching package flag's own convention —
+// and 1 for everything else; Exit applies that policy.
+type UsageError struct {
+	msg string
+}
+
+// Error implements error.
+func (e *UsageError) Error() string { return e.msg }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsUsage reports whether err is (or wraps) a UsageError.
+func IsUsage(err error) bool {
+	var ue *UsageError
+	return errors.As(err, &ue)
+}
+
+// ExitCode returns the exit code Exit would use for err: 0 for nil,
+// 2 for usage errors, 1 otherwise. Split out so tests can assert the
+// policy without exiting.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case IsUsage(err):
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Exit prints a non-nil err as "<cmd>: <err>" on stderr and exits with
+// ExitCode(err). A nil err is a no-op, so commands can end with
+// cmdutil.Exit(name, run()) unconditionally.
+func Exit(cmd string, err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	osExit(ExitCode(err))
+}
+
+// osExit is swapped out by tests.
+var osExit = os.Exit
+
+// Obs bundles the observability flags shared by the commands and writes
+// the artifacts out after a run. Zero value = all outputs disabled.
+type Obs struct {
+	cmd     string
+	Metrics string // -metrics: JSON snapshot path
+	Trace   string // -trace: JSONL span-tree path
+	PProf   string // -pprof: expvar/pprof listen address
+}
+
+// BindFlags registers the shared observability flags on fs. pprof is
+// only offered to the long-running commands (experiments, bench); the
+// one-shot commands pass withPProf=false.
+func BindFlags(fs *flag.FlagSet, cmd string, withPProf bool) *Obs {
+	o := &Obs{cmd: cmd}
+	fs.StringVar(&o.Metrics, "metrics", "", "write the metrics snapshot as JSON to this file")
+	fs.StringVar(&o.Trace, "trace", "", "write the span trace as JSONL to this file")
+	if withPProf {
+		fs.StringVar(&o.PProf, "pprof", "", "serve net/http/pprof and expvar on this address")
+	}
+	return o
+}
+
+// Start installs the tracer and pprof server the parsed flags ask for.
+// Call it right after flag parsing, before any instrumented work.
+func (o *Obs) Start() error {
+	if o.PProf != "" {
+		addr, err := obshttp.Serve(o.PProf)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: pprof/expvar on http://%s/debug/\n", o.cmd, addr)
+	}
+	if o.Trace != "" {
+		obs.SetTracer(obs.NewTracer())
+	}
+	return nil
+}
+
+// Finish writes the metrics snapshot and span trace the flags asked
+// for. It logs each written path to stderr so stdout stays pipeable.
+func (o *Obs) Finish() error {
+	if o.Metrics != "" {
+		if err := obs.Default.WriteJSONFile(o.Metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote metrics to %s\n", o.cmd, o.Metrics)
+	}
+	if o.Trace != "" {
+		if err := writeTrace(o.Trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote trace to %s\n", o.cmd, o.Trace)
+	}
+	return nil
+}
+
+func writeTrace(path string) error {
+	tr := obs.ActiveTracer()
+	if tr == nil {
+		return fmt.Errorf("no active tracer")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"joinpebble/internal/core"
+	"joinpebble/internal/obs"
+	"joinpebble/internal/solver"
+)
+
+// Planner routing counters: which ladder rung handled each instance, and
+// how often a family guarantee let the planner skip structural
+// inspection entirely.
+var (
+	cPlanPerfect    = obs.Default.Counter("engine/plan/perfect")
+	cPlanExact      = obs.Default.Counter("engine/plan/exact")
+	cPlanApprox     = obs.Default.Counter("engine/plan/approx")
+	cPlanOverride   = obs.Default.Counter("engine/plan/override")
+	cPlanGuaranteed = obs.Default.Counter("engine/plan/by_guarantee")
+	cRuns           = obs.Default.Counter("engine/runs")
+	tRun            = obs.Default.Timer("engine/run")
+)
+
+// Planner inspects instances and routes them down the solver ladder.
+// The zero value is ready to use and routes exactly like solver.Auto, so
+// engine-routed solves are byte-identical to direct Auto solves.
+type Planner struct {
+	// ExactLimit caps the exact rung's per-component edge count; zero
+	// means tsp.MaxExactCities.
+	ExactLimit int
+	// Solver, when non-nil, overrides routing: every instance goes to
+	// this solver regardless of structure (the CLI -solver flag).
+	Solver solver.Solver
+	// Snapshot attaches a metrics-registry snapshot to each Result.
+	Snapshot bool
+}
+
+// Plan is a routing decision: the rung, the solver implementing it, and
+// a human-readable justification for plan output and traces.
+type Plan struct {
+	Route  solver.Route
+	Solver solver.Solver
+	Reason string
+}
+
+// Plan routes an instance without solving it. A family guarantee of
+// complete-bipartite components short-circuits to the perfect rung with
+// no graph scan; otherwise the route comes from the same structural
+// classification solver.Auto uses, so the two can never disagree.
+func (p *Planner) Plan(in *Instance) Plan {
+	if p.Solver != nil {
+		cPlanOverride.Inc()
+		return Plan{
+			Route:  solver.PlanRoute(in.Graph(), p.ExactLimit),
+			Solver: p.Solver,
+			Reason: fmt.Sprintf("explicit solver %s", p.Solver.Name()),
+		}
+	}
+	if in.Guarantees.CompleteBipartite {
+		cPlanGuaranteed.Inc()
+		cPlanPerfect.Inc()
+		return Plan{
+			Route:  solver.RoutePerfect,
+			Solver: solver.RouteSolver(solver.RoutePerfect, p.ExactLimit),
+			Reason: fmt.Sprintf("family %s guarantees complete-bipartite components (Thm 3.2)", in.Family),
+		}
+	}
+	route := solver.PlanRoute(in.Graph(), p.ExactLimit)
+	switch route {
+	case solver.RoutePerfect:
+		cPlanPerfect.Inc()
+	case solver.RouteExact:
+		cPlanExact.Inc()
+	default:
+		cPlanApprox.Inc()
+	}
+	return Plan{
+		Route:  route,
+		Solver: solver.RouteSolver(route, p.ExactLimit),
+		Reason: routeReason(route),
+	}
+}
+
+func routeReason(r solver.Route) string {
+	switch r {
+	case solver.RoutePerfect:
+		return "all components complete bipartite (Thm 4.1)"
+	case solver.RouteExact:
+		return "every component within the exact search budget"
+	default:
+		return "1.25-approximation (Thm 3.1)"
+	}
+}
+
+// Result is the single output of an engine-routed solve: the verified
+// scheme with its costs and bounds, how it was routed, and (optionally)
+// the metrics snapshot taken right after the solve.
+type Result struct {
+	// Family and Route record the pipeline provenance.
+	Family string
+	Route  solver.Route
+	// Solver is the name of the solver that produced the scheme.
+	Solver string
+	// Reason is the planner's routing justification.
+	Reason string
+
+	// Scheme is the pebbling scheme; Cost is its simulator-verified π̂
+	// and EffectiveCost the π = π̂ − β₀ of Definition 2.2.
+	Scheme        core.Scheme
+	Cost          int
+	EffectiveCost int
+
+	// LowerBound and UpperBound are Lemma 2.1's universal bounds on π̂;
+	// Perfect reports π = m (Definition 2.3).
+	LowerBound, UpperBound int
+	Perfect                bool
+
+	// Vertices, Edges and Components describe the solved graph.
+	Vertices, Edges, Components int
+
+	// Elapsed is the wall time of plan + solve + verify.
+	Elapsed time.Duration
+
+	// Metrics is the obs registry snapshot after the solve, attached
+	// when Planner.Snapshot is set (nil otherwise).
+	Metrics *obs.Snapshot
+}
+
+// Run routes the instance, solves it under ctx, verifies the scheme
+// against the pebble-game simulator, and assembles the Result. The
+// existing obs spans/counters of the solver layer fire unchanged
+// underneath the engine/solve span.
+func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
+	cRuns.Inc()
+	start := time.Now()
+	sp := obs.StartSpan("engine/solve")
+	defer sp.End()
+
+	plan := p.Plan(in)
+	g := in.Graph()
+	sp.SetInt("edges", int64(g.M()))
+	sp.SetInt("route", int64(plan.Route))
+
+	scheme, cost, err := solver.SolveAndVerifyContext(ctx, plan.Solver, g)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s via %s: %w", in.Family, plan.Solver.Name(), err)
+	}
+	eff := scheme.EffectiveCost(g)
+	res := &Result{
+		Family:        in.Family,
+		Route:         plan.Route,
+		Solver:        plan.Solver.Name(),
+		Reason:        plan.Reason,
+		Scheme:        scheme,
+		Cost:          cost,
+		EffectiveCost: eff,
+		LowerBound:    core.LowerBound(g),
+		UpperBound:    core.UpperBound(g),
+		Perfect:       eff == g.M(),
+		Vertices:      g.N(),
+		Edges:         g.M(),
+		Components:    core.Betti0(g),
+		Elapsed:       time.Since(start),
+	}
+	tRun.Observe(res.Elapsed)
+	if p.Snapshot {
+		res.Metrics = obs.Default.Snapshot()
+	}
+	return res, nil
+}
+
+// Decide answers PEBBLE(D) of Definition 4.1 — is π ≤ K? — through the
+// decision ladder (bounds, CertificateLadder certificates, exact). It is
+// the engine's decision-problem entry point, sharing the certificate
+// rung with the planner's solver ladder.
+func (p *Planner) Decide(ctx context.Context, in *Instance, k int) (bool, error) {
+	return solver.DecideContext(ctx, in.Graph(), k)
+}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,7 +65,12 @@ func (a Approx125) Name() string {
 
 // Solve implements Solver.
 func (a Approx125) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, a.Name(), func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return a.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (a Approx125) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(ctx, g, a.Name(), func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		return approxComponentOrder(cg, sp, a.SkipTwinElimination, a.Materialize)
 	})
 }

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"joinpebble/internal/core"
@@ -27,6 +28,20 @@ var (
 // the worst case is still exponential, as Theorem 4.2 says it must be
 // unless P = NP.
 func Decide(g *graph.Graph, k int) (bool, error) {
+	return DecideContext(context.Background(), g, k)
+}
+
+// CertificateLadder returns the polynomial solvers Decide tries, in
+// order, as cheap upper-bound certificates before paying for exact
+// search. The engine planner consults the same ladder, so planner
+// routing and the Decide rungs can never diverge.
+func CertificateLadder() []Solver {
+	return []Solver{Greedy{}, Approx125{}, GreedyImproved{}}
+}
+
+// DecideContext is Decide bounded by ctx: cancellation is observed
+// between ladder rungs and inside each rung's component pool.
+func DecideContext(ctx context.Context, g *graph.Graph, k int) (bool, error) {
 	cDecideCalls.Inc()
 	sp := obs.StartSpan("decide")
 	defer sp.End()
@@ -46,8 +61,8 @@ func Decide(g *graph.Graph, k int) (bool, error) {
 	}
 	// A cheap certificate: if any polynomial solver achieves <= K we are
 	// done without exact search.
-	for _, s := range []Solver{Greedy{}, Approx125{}, GreedyImproved{}} {
-		scheme, err := s.Solve(g)
+	for _, s := range CertificateLadder() {
+		scheme, err := SolveContext(ctx, s, g)
 		if err != nil {
 			return false, err
 		}
@@ -57,11 +72,15 @@ func Decide(g *graph.Graph, k int) (bool, error) {
 		}
 	}
 	cDecideExact.Inc()
-	eff, err := OptimalEffectiveCost(g)
+	scheme, err := SolveContext(ctx, Exact{}, g)
 	if err != nil {
 		return false, err
 	}
-	return eff <= k, nil
+	cost, err := core.Verify(g, scheme)
+	if err != nil {
+		return false, err
+	}
+	return cost-core.Betti0(g) <= k, nil
 }
 
 // ApproxWithin solves the ε-approximation problem of Definition 4.1:
@@ -134,7 +153,7 @@ func HamiltonianLineGraphDecision(g *graph.Graph) (bool, error) {
 		}
 		cg, _ := g.InducedSubgraph(comp)
 		if cg.M() > tsp.MaxExactCities {
-			return false, fmt.Errorf("solver: component with %d edges exceeds decision budget", cg.M())
+			return false, fmt.Errorf("%w: component with %d edges exceeds decision budget", ErrBudgetExceeded, cg.M())
 		}
 		if _, ok := graph.HamiltonianPath(graph.LineGraph(cg)); !ok {
 			return false, nil

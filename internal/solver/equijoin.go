@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"joinpebble/internal/core"
@@ -27,7 +28,12 @@ func (Equijoin) Name() string { return "equijoin" }
 
 // Solve implements Solver.
 func (Equijoin) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, "equijoin", equijoinComponentOrder)
+	return Equijoin{}.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (Equijoin) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(ctx, g, "equijoin", equijoinComponentOrder)
 }
 
 func equijoinComponentOrder(cg *graph.Graph, sp *obs.Span) ([]int, error) {
@@ -61,7 +67,7 @@ func equijoinComponentOrder(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 func completeBipartiteSides(cg *graph.Graph) (left, right []int, err error) {
 	side, ok := graph.IsBipartition(cg)
 	if !ok {
-		return nil, nil, fmt.Errorf("solver: component is not bipartite")
+		return nil, nil, fmt.Errorf("%w: component is not bipartite", ErrStructure)
 	}
 	for v := 0; v < cg.N(); v++ {
 		if side[v] {
@@ -71,8 +77,8 @@ func completeBipartiteSides(cg *graph.Graph) (left, right []int, err error) {
 		}
 	}
 	if cg.M() != len(left)*len(right) {
-		return nil, nil, fmt.Errorf("solver: component is not complete bipartite (m=%d, sides %dx%d)",
-			cg.M(), len(left), len(right))
+		return nil, nil, fmt.Errorf("%w: component is not complete bipartite (m=%d, sides %dx%d)",
+			ErrStructure, cg.M(), len(left), len(right))
 	}
 	return left, right, nil
 }
@@ -126,7 +132,7 @@ func (MatchingSolver) Name() string { return "matching" }
 // Solve implements Solver.
 func (MatchingSolver) Solve(g *graph.Graph) (core.Scheme, error) {
 	if g.MaxDegree() > 1 {
-		return nil, fmt.Errorf("solver: graph is not a matching (max degree %d)", g.MaxDegree())
+		return nil, fmt.Errorf("%w: graph is not a matching (max degree %d)", ErrStructure, g.MaxDegree())
 	}
 	order := make([]int, g.M())
 	for i := range order {

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"joinpebble/internal/core"
@@ -25,13 +26,18 @@ func (Exact) Name() string { return "exact" }
 
 // Solve implements Solver.
 func (e Exact) Solve(g *graph.Graph) (core.Scheme, error) {
+	return e.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (e Exact) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
 	limit := e.MaxEdges
 	if limit == 0 {
 		limit = tsp.MaxExactCities
 	}
-	return solvePerComponent(g, "exact", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return solvePerComponent(ctx, g, "exact", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		if cg.M() > limit {
-			return nil, fmt.Errorf("solver: component with %d edges exceeds exact limit %d", cg.M(), limit)
+			return nil, fmt.Errorf("%w: component with %d edges exceeds exact limit %d", ErrBudgetExceeded, cg.M(), limit)
 		}
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("held_karp")

@@ -1,7 +1,9 @@
 package solver
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
@@ -27,7 +29,12 @@ func (Greedy) Name() string { return "greedy" }
 
 // Solve implements Solver.
 func (Greedy) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, "greedy", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return Greedy{}.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (Greedy) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(ctx, g, "greedy", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("nearest_neighbor")
 		tour, _ := tsp.NearestNeighbor(in)
@@ -45,7 +52,12 @@ func (GreedyImproved) Name() string { return "greedy+2opt" }
 
 // Solve implements Solver.
 func (GreedyImproved) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, "greedy+2opt", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return GreedyImproved{}.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (GreedyImproved) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(ctx, g, "greedy+2opt", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("nearest_neighbor")
 		tour, _ := tsp.NearestNeighbor(in)
@@ -65,7 +77,12 @@ func (PathCover) Name() string { return "path-cover" }
 
 // Solve implements Solver.
 func (PathCover) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, "path-cover", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return PathCover{}.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (PathCover) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(ctx, g, "path-cover", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("path_cover")
 		tour, _ := tsp.GreedyPathCover(in)
@@ -85,7 +102,12 @@ func (CycleCover) Name() string { return "cycle-cover" }
 
 // Solve implements Solver.
 func (CycleCover) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, "cycle-cover", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return CycleCover{}.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (CycleCover) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(ctx, g, "cycle-cover", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("cycle_cover")
 		tour, _, err := tsp.CycleCoverTour(in)
@@ -111,16 +133,88 @@ func (ExactBnB) Name() string { return "exact-bnb" }
 
 // Solve implements Solver.
 func (e ExactBnB) Solve(g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(g, "exact-bnb", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return e.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (e ExactBnB) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
+	return solvePerComponent(ctx, g, "exact-bnb", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("branch_and_bound")
 		tour, _, exhausted := tsp.BranchAndBound(in, e.MaxNodes)
 		ts.End()
 		if !exhausted {
-			return nil, fmt.Errorf("solver: branch-and-bound node cap %d hit on component with %d edges", e.MaxNodes, cg.M())
+			return nil, fmt.Errorf("%w: branch-and-bound node cap %d hit on component with %d edges", ErrBudgetExceeded, e.MaxNodes, cg.M())
 		}
 		return []int(tour), nil
 	})
+}
+
+// Route identifies a rung of the automatic solver ladder: the structural
+// fact about an instance that determines which solver handles it. The
+// engine planner and the Auto solver share this classification, so
+// engine-routed solves and direct Auto solves can never disagree.
+type Route int
+
+// Ladder rungs, in the order PlanRoute tries them.
+const (
+	// RoutePerfect: every component is complete bipartite — the defining
+	// structure of equijoin graphs (§3.1) — so the linear-time perfect
+	// pebbler of Theorems 3.2/4.1 applies and π = m is achieved.
+	RoutePerfect Route = iota
+	// RouteExact: every component's edge count fits the exponential
+	// search budget, so the Held–Karp exact solver is affordable.
+	RouteExact
+	// RouteApprox: fall back to the Theorem 3.1 1.25-approximation,
+	// polynomial on any input.
+	RouteApprox
+)
+
+// String names the route for tables and plan output.
+func (r Route) String() string {
+	switch r {
+	case RoutePerfect:
+		return "perfect"
+	case RouteExact:
+		return "exact"
+	case RouteApprox:
+		return "approx"
+	}
+	return fmt.Sprintf("route(%d)", int(r))
+}
+
+// PlanRoute classifies g onto the ladder. exactLimit caps the exact
+// rung's per-component edge count; zero means tsp.MaxExactCities. The
+// classification is purely structural (no solving happens), costing one
+// bipartition check plus one component scan.
+func PlanRoute(g *graph.Graph, exactLimit int) Route {
+	if IsEquijoinGraph(g) {
+		return RoutePerfect
+	}
+	if exactLimit == 0 {
+		exactLimit = tsp.MaxExactCities
+	}
+	for _, m := range componentEdgeCounts(g) {
+		if m > exactLimit {
+			return RouteApprox
+		}
+	}
+	return RouteExact
+}
+
+// RouteSolver returns the solver implementing a ladder rung.
+func RouteSolver(r Route, exactLimit int) Solver {
+	if exactLimit == 0 {
+		exactLimit = tsp.MaxExactCities
+	}
+	switch r {
+	case RoutePerfect:
+		return Equijoin{}
+	case RouteExact:
+		return Exact{MaxEdges: exactLimit}
+	default:
+		return Approx125{}
+	}
 }
 
 // Auto picks the best applicable solver: the linear-time perfect pebbler
@@ -139,30 +233,47 @@ func (Auto) Name() string { return "auto" }
 
 // Solve implements Solver.
 func (a Auto) Solve(g *graph.Graph) (core.Scheme, error) {
-	if IsEquijoinGraph(g) {
+	return a.SolveContext(context.Background(), g)
+}
+
+// SolveContext implements ContextSolver.
+func (a Auto) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
+	route := PlanRoute(g, a.ExactLimit)
+	switch route {
+	case RoutePerfect:
 		cAutoEquijoin.Inc()
-		return Equijoin{}.Solve(g)
-	}
-	limit := a.ExactLimit
-	if limit == 0 {
-		limit = tsp.MaxExactCities
-	}
-	fits := true
-	for _, m := range componentEdgeCounts(g) {
-		if m > limit {
-			fits = false
-			break
-		}
-	}
-	if fits {
+	case RouteExact:
 		cAutoExact.Inc()
-		return Exact{MaxEdges: limit}.Solve(g)
+	default:
+		cAutoApprox.Inc()
 	}
-	cAutoApprox.Inc()
-	return Approx125{}.Solve(g)
+	return SolveContext(ctx, RouteSolver(route, a.ExactLimit), g)
 }
 
 // All returns the solver lineup used by comparative experiments.
 func All() []Solver {
 	return []Solver{Naive{}, Greedy{}, GreedyImproved{}, PathCover{}, CycleCover{}, Approx125{}, Exact{}}
+}
+
+// Named returns the full named solver lineup — All plus the structural
+// specialists and the auto router — the single source the CLIs resolve
+// -solver flags against.
+func Named() []Solver {
+	return append(All(), Equijoin{}, MatchingSolver{}, ExactBnB{}, Auto{})
+}
+
+// ByName resolves a solver by its Name. The error lists the known names
+// so CLI usage messages stay accurate as the lineup grows.
+func ByName(name string) (Solver, error) {
+	all := Named()
+	for _, s := range all {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name()
+	}
+	return nil, fmt.Errorf("solver: unknown solver %q (known: %s)", name, strings.Join(names, ", "))
 }

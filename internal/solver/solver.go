@@ -7,6 +7,8 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,6 +18,17 @@ import (
 	"joinpebble/internal/graph"
 	"joinpebble/internal/obs"
 )
+
+// ErrBudgetExceeded marks failures where an instance is structurally fine
+// but too large for the requested solver's search budget (exact edge
+// limits, branch-and-bound node caps, decision budgets). Callers that
+// want to degrade to an approximation match it with errors.Is.
+var ErrBudgetExceeded = errors.New("solver: search budget exceeded")
+
+// ErrStructure marks failures where a specialized solver rejected the
+// graph because it lacks the structure the solver requires (equijoin
+// components that are not complete bipartite, matchings with degree > 1).
+var ErrStructure = errors.New("solver: graph lacks required structure")
 
 // Observability: every Solve is a span tree (solver name -> phases ->
 // per-component solves) on the active tracer, and the per-phase timers
@@ -61,6 +74,31 @@ type Solver interface {
 	Solve(g *graph.Graph) (core.Scheme, error)
 }
 
+// ContextSolver is a Solver whose solve honors context cancellation.
+// Every per-component solver in this package implements it; cancellation
+// is observed at component granularity in the parallel pool, so a
+// canceled solve returns promptly without tearing down mid-component
+// state.
+type ContextSolver interface {
+	Solver
+	// SolveContext is Solve bounded by ctx. It returns ctx.Err() (wrapped
+	// or bare — match with errors.Is(err, context.Canceled) /
+	// context.DeadlineExceeded) when canceled before completion.
+	SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error)
+}
+
+// SolveContext runs s under ctx when s supports cancellation, falling
+// back to a plain Solve (with one up-front cancellation check) otherwise.
+func SolveContext(ctx context.Context, s Solver, g *graph.Graph) (core.Scheme, error) {
+	if cs, ok := s.(ContextSolver); ok {
+		return cs.SolveContext(ctx, g)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Solve(g)
+}
+
 // connectedOrderFunc computes an edge-visit order for one connected
 // component, given the component's subgraph. The order is in
 // component-local edge indices. sp is the component's trace span (nil
@@ -75,9 +113,17 @@ type connectedOrderFunc func(cg *graph.Graph, sp *obs.Span) ([]int, error)
 // Components are embarrassingly parallel (Lemma 2.2): fn runs on a
 // bounded worker pool (see Parallelism) and the local orders are merged
 // back in component order, so the result is independent of scheduling.
-func solvePerComponent(g *graph.Graph, name string, fn connectedOrderFunc) (core.Scheme, error) {
+//
+// Cancellation is checked between components: once ctx is done no new
+// component solve starts and the call returns ctx.Err(), so even an
+// exponential multi-component solve unwinds at the next component
+// boundary.
+func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn connectedOrderFunc) (core.Scheme, error) {
 	if g.M() == 0 {
 		return core.Scheme{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	cSolves.Inc()
 	root := obs.StartSpan(name)
@@ -155,6 +201,10 @@ func solvePerComponent(g *graph.Graph, name string, fn connectedOrderFunc) (core
 	orders := make([][]int, len(jobs))
 	errs := make([]error, len(jobs))
 	solveJob := func(ji int) {
+		if err := ctx.Err(); err != nil {
+			errs[ji] = err
+			return
+		}
 		start := time.Now()
 		compSpan := root.Start("component_solve")
 		compSpan.SetInt("component", int64(jobs[ji].ci))
@@ -167,6 +217,9 @@ func solvePerComponent(g *graph.Graph, name string, fn connectedOrderFunc) (core
 	cWorkersUsed.Add(int64(w))
 	if w <= 1 {
 		for ji := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
 			solveJob(ji)
 		}
 	} else {
@@ -181,11 +234,19 @@ func solvePerComponent(g *graph.Graph, name string, fn connectedOrderFunc) (core
 				}
 			}()
 		}
+	feed:
 		for ji := range jobs {
-			idx <- ji
+			select {
+			case idx <- ji:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(idx)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	var globalOrder []int
@@ -229,7 +290,13 @@ func (Naive) Solve(g *graph.Graph) (core.Scheme, error) {
 // SolveAndVerify runs s on g and checks the scheme against the simulator,
 // returning the scheme and its verified cost π̂.
 func SolveAndVerify(s Solver, g *graph.Graph) (core.Scheme, int, error) {
-	scheme, err := s.Solve(g)
+	return SolveAndVerifyContext(context.Background(), s, g)
+}
+
+// SolveAndVerifyContext is SolveAndVerify bounded by ctx (see
+// ContextSolver for the cancellation granularity).
+func SolveAndVerifyContext(ctx context.Context, s Solver, g *graph.Graph) (core.Scheme, int, error) {
+	scheme, err := SolveContext(ctx, s, g)
 	if err != nil {
 		return nil, 0, fmt.Errorf("solver %s: %w", s.Name(), err)
 	}

@@ -24,6 +24,11 @@ type Equijoin struct {
 	Skew float64
 }
 
+// Family names the predicate family this workload generates for; it is
+// the engine registry key, so engine.Generate can route any workload
+// without a per-kind switch.
+func (Equijoin) Family() string { return "equijoin" }
+
 // Generate builds the two relations.
 func (w Equijoin) Generate(seed int64) (l, r *relation.Relation) {
 	rng := rand.New(rand.NewSource(seed))
@@ -74,6 +79,9 @@ type SetContainment struct {
 	// sets so the join produces output (pure random sets rarely join).
 	Correlated bool
 }
+
+// Family names the predicate family this workload generates for.
+func (SetContainment) Family() string { return "containment" }
 
 // Generate builds the two relations.
 func (w SetContainment) Generate(seed int64) (l, r *relation.Relation) {
@@ -131,6 +139,9 @@ type Spatial struct {
 	// centers (skewed spatial data); 0 means uniform.
 	Clusters int
 }
+
+// Family names the predicate family this workload generates for.
+func (Spatial) Family() string { return "spatial" }
 
 // Generate builds the two relations.
 func (w Spatial) Generate(seed int64) (l, r *relation.Relation) {
