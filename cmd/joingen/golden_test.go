@@ -125,6 +125,46 @@ func TestGoldenMetricsJSON(t *testing.T) {
 	checkGolden(t, "metrics_names", buf.Bytes())
 }
 
+// TestGoldenSpiderSolve: -out solve runs the engine pipeline end to end
+// on a generated instance (Spider G_3 routes exact and stays on it).
+func TestGoldenSpiderSolve(t *testing.T) {
+	out, err := exec.Command(joingenBin, "-kind", "spider", "-n", "3", "-out", "solve").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "spider_solve", out)
+}
+
+// TestGoldenSpiderSolveDegraded: Spider G_12 has 24 edges in one
+// component — past the exact budget — so forcing the exact solver
+// degrades deterministically to the approximation rung, exit 0.
+func TestGoldenSpiderSolveDegraded(t *testing.T) {
+	out, err := exec.Command(joingenBin, "-kind", "spider", "-n", "12", "-out", "solve", "-solver", "exact").Output()
+	if err != nil {
+		t.Fatalf("degraded run must exit 0: %v", err)
+	}
+	checkGolden(t, "spider_solve_degraded", out)
+}
+
+// TestStrictSolveExitsNonZero: the same budget trip under -strict is a
+// runtime failure carrying the solver sentinel.
+func TestStrictSolveExitsNonZero(t *testing.T) {
+	var stderr bytes.Buffer
+	cmd := exec.Command(joingenBin, "-kind", "spider", "-n", "12", "-out", "solve", "-solver", "exact", "-strict")
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v", err)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr: %s)", ee.ExitCode(), stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("search budget exceeded")) {
+		t.Fatalf("stderr must carry the budget sentinel: %q", stderr.String())
+	}
+}
+
 // TestUsageErrorsExitTwo pins the shared CLI error contract for joingen.
 func TestUsageErrorsExitTwo(t *testing.T) {
 	for name, args := range map[string][]string{

@@ -11,10 +11,15 @@
 // With -out graph (default) it writes the join graph in the text format
 // cmd/pebble reads; -out relations writes the two relations; -out dot
 // writes Graphviz; -out plan prints the engine planner's routing
-// decision for the instance without solving it.
+// decision for the instance without solving it; -out solve runs the
+// full engine pipeline on the generated instance ( -solver overrides
+// the routing) and prints the same summary as cmd/pebble — including
+// the DEGRADED provenance line when the ladder engaged, suppressed by
+// -strict in favor of a non-zero exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +29,7 @@ import (
 	"joinpebble/internal/engine/cmdutil"
 	"joinpebble/internal/family"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/solver"
 	"joinpebble/internal/workload"
 )
 
@@ -43,12 +49,15 @@ type config struct {
 	extent     float64
 	clusters   int
 	n          int
+	solver     string
+	strict     bool
 }
 
 func main() {
 	var c config
 	flag.StringVar(&c.kind, "kind", "equijoin", "workload: equijoin, containment, spatial, spider")
-	flag.StringVar(&c.out, "out", "graph", "output: graph (join graph), relations, dot (Graphviz), or plan (engine routing)")
+	flag.StringVar(&c.out, "out", "graph", "output: graph (join graph), relations, dot (Graphviz), plan (engine routing), or solve (run the engine)")
+	flag.StringVar(&c.solver, "solver", "auto", "with -out solve: override the engine routing")
 	flag.Int64Var(&c.seed, "seed", 1, "generator seed")
 	flag.IntVar(&c.left, "left", 100, "left relation size")
 	flag.IntVar(&c.right, "right", 100, "right relation size")
@@ -62,8 +71,10 @@ func main() {
 	flag.Float64Var(&c.extent, "extent", 5, "spatial: max rectangle side")
 	flag.IntVar(&c.clusters, "clusters", 0, "spatial: cluster count (0 = uniform)")
 	flag.IntVar(&c.n, "n", 5, "spider: family parameter")
+	strict := cmdutil.BindStrict(flag.CommandLine)
 	obsFlags := cmdutil.BindFlags(flag.CommandLine, "joingen", false)
 	flag.Parse()
+	c.strict = *strict
 
 	if err := obsFlags.Start(); err != nil {
 		cmdutil.Exit("joingen", err)
@@ -129,6 +140,21 @@ func run(w io.Writer, c config) error {
 		fmt.Fprintf(w, "route      %s\n", plan.Route)
 		fmt.Fprintf(w, "solver     %s\n", plan.Solver.Name())
 		fmt.Fprintf(w, "reason     %s\n", plan.Reason)
+		return nil
+	case "solve":
+		planner := engine.Planner{Degrade: cmdutil.Degrade(c.strict)}
+		if c.solver != "auto" {
+			s, err := solver.ByName(c.solver)
+			if err != nil {
+				return cmdutil.Usagef("%v", err)
+			}
+			planner.Solver = s
+		}
+		res, err := planner.Run(context.Background(), inst)
+		if err != nil {
+			return err
+		}
+		cmdutil.WriteResult(w, res, false)
 		return nil
 	}
 	return cmdutil.Usagef("unknown output %q", c.out)

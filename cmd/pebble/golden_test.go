@@ -129,6 +129,38 @@ func TestGoldenMetricsJSON(t *testing.T) {
 	checkGolden(t, "metrics_names", normalizeMetrics(t, raw))
 }
 
+// TestGoldenDegraded: forcing the exact solver onto a 40-edge component
+// trips the Held–Karp budget deterministically; without -strict the run
+// completes on the approximation rung, exits 0, and prints the DEGRADED
+// provenance line.
+func TestGoldenDegraded(t *testing.T) {
+	out, err := exec.Command(pebbleBin, "-solver", "exact", "testdata/path41.txt").Output()
+	if err != nil {
+		t.Fatalf("degraded run must exit 0: %v", err)
+	}
+	checkGolden(t, "solve_degraded", out)
+}
+
+// TestStrictExitsNonZero: -strict turns the same budget trip into a
+// non-zero exit with the solver sentinel text on stderr, matchable by
+// scripts that must not accept weaker bounds.
+func TestStrictExitsNonZero(t *testing.T) {
+	var stderr bytes.Buffer
+	cmd := exec.Command(pebbleBin, "-strict", "-solver", "exact", "testdata/path41.txt")
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v", err)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("exit code %d, want 1", ee.ExitCode())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("search budget exceeded")) {
+		t.Fatalf("stderr must carry the budget sentinel: %q", stderr.String())
+	}
+}
+
 // TestUsageErrorsExitTwo pins the CLI error contract: usage errors exit 2
 // with a message on stderr, runtime errors exit 1.
 func TestUsageErrorsExitTwo(t *testing.T) {

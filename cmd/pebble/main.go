@@ -15,6 +15,13 @@
 // verified pebbling cost π̂, the effective cost π, the Lemma 2.1 bounds,
 // the route taken, and whether the scheme is perfect; -scheme also
 // prints the configuration sequence.
+//
+// When the planned solver fails recoverably (search budget, deadline,
+// recovered panic) the engine degrades to the Theorem 3.1 approximation
+// or the Lemma 2.1 naive scheme: the run still exits 0 and the output
+// carries a "DEGRADED (exact→approx-1.25: <reason>)" provenance line.
+// -strict disables the ladder: the failure surfaces on stderr with its
+// solver sentinel text and a non-zero exit.
 package main
 
 import (
@@ -34,6 +41,7 @@ func main() {
 	solverName := flag.String("solver", "auto", "solver: auto routes via the engine planner; see -solver help for names")
 	showScheme := flag.Bool("scheme", false, "print the full configuration sequence")
 	decideK := flag.Int("decide", -1, "answer PEBBLE(D): is π(G) <= K? (-1 disables)")
+	strict := cmdutil.BindStrict(flag.CommandLine)
 	obsFlags := cmdutil.BindFlags(flag.CommandLine, "pebble", false)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pebble [flags] [file]\nreads the graph from stdin when no file is given\n")
@@ -47,20 +55,20 @@ func main() {
 	if flag.NArg() > 1 {
 		cmdutil.Exit("pebble", cmdutil.Usagef("at most one input file, got %d args", flag.NArg()))
 	}
-	err := run(os.Stdout, *solverName, *showScheme, *decideK, flag.Arg(0))
+	err := run(os.Stdout, *solverName, *showScheme, *strict, *decideK, flag.Arg(0))
 	if err == nil {
 		err = obsFlags.Finish()
 	}
 	cmdutil.Exit("pebble", err)
 }
 
-func run(w io.Writer, solverName string, showScheme bool, decideK int, path string) error {
+func run(w io.Writer, solverName string, showScheme, strict bool, decideK int, path string) error {
 	in, err := readInstance(path)
 	if err != nil {
 		return err
 	}
 
-	planner := engine.Planner{}
+	planner := engine.Planner{Degrade: cmdutil.Degrade(strict)}
 	if solverName != "auto" {
 		s, err := solver.ByName(solverName)
 		if err != nil {
@@ -82,21 +90,7 @@ func run(w io.Writer, solverName string, showScheme bool, decideK int, path stri
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "vertices        %d\n", res.Vertices)
-	fmt.Fprintf(w, "edges (m)       %d\n", res.Edges)
-	fmt.Fprintf(w, "components (β₀) %d\n", res.Components)
-	fmt.Fprintf(w, "family          %s\n", res.Family)
-	fmt.Fprintf(w, "solver          %s\n", res.Solver)
-	fmt.Fprintf(w, "route           %s   (%s)\n", res.Route, res.Reason)
-	fmt.Fprintf(w, "cost π̂          %d   (bounds: %d..%d)\n", res.Cost, res.LowerBound, res.UpperBound)
-	fmt.Fprintf(w, "effective π     %d   (m = %d)\n", res.EffectiveCost, res.Edges)
-	fmt.Fprintf(w, "perfect         %v\n", res.Perfect)
-	if showScheme {
-		fmt.Fprintln(w, "scheme:")
-		for i, c := range res.Scheme {
-			fmt.Fprintf(w, "  %4d  %v\n", i+1, c)
-		}
-	}
+	cmdutil.WriteResult(w, res, showScheme)
 	return nil
 }
 

@@ -23,7 +23,7 @@ func TestRunOnSpiderFile(t *testing.T) {
 	// Spider G_3: π̂ should be 8 (π = 7 = m + 1).
 	path := writeTemp(t, "bipartite 4 3\ne 0 0\ne 1 0\ne 0 1\ne 2 1\ne 0 2\ne 3 2\n")
 	var sb strings.Builder
-	if err := run(&sb, "exact", true, -1, path); err != nil {
+	if err := run(&sb, "exact", true, false, -1, path); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -37,7 +37,7 @@ func TestRunOnSpiderFile(t *testing.T) {
 func TestRunGeneralGraph(t *testing.T) {
 	path := writeTemp(t, "graph 4\ne 0 1\ne 1 2\ne 2 3\n")
 	var sb strings.Builder
-	if err := run(&sb, "auto", false, -1, path); err != nil {
+	if err := run(&sb, "auto", false, false, -1, path); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "perfect         true") {
@@ -48,7 +48,7 @@ func TestRunGeneralGraph(t *testing.T) {
 func TestRunUnknownSolver(t *testing.T) {
 	path := writeTemp(t, "graph 2\ne 0 1\n")
 	var sb strings.Builder
-	err := run(&sb, "bogus", false, -1, path)
+	err := run(&sb, "bogus", false, false, -1, path)
 	if err == nil {
 		t.Fatal("unknown solver must error")
 	}
@@ -59,7 +59,7 @@ func TestRunUnknownSolver(t *testing.T) {
 
 func TestRunMissingFile(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "auto", false, -1, "/nonexistent/graph.txt"); err == nil {
+	if err := run(&sb, "auto", false, false, -1, "/nonexistent/graph.txt"); err == nil {
 		t.Fatal("missing file must error")
 	}
 }
@@ -67,8 +67,17 @@ func TestRunMissingFile(t *testing.T) {
 func TestRunEquijoinSolverRejectsHardGraph(t *testing.T) {
 	path := writeTemp(t, "bipartite 4 3\ne 0 0\ne 1 0\ne 0 1\ne 2 1\ne 0 2\ne 3 2\n")
 	var sb strings.Builder
-	if err := run(&sb, "equijoin", false, -1, path); err == nil {
-		t.Fatal("equijoin solver must reject the spider")
+	if err := run(&sb, "equijoin", false, true, -1, path); err == nil {
+		t.Fatal("strict equijoin solver must reject the spider")
+	}
+	// Without -strict, the structure rejection is a degradable cause: the
+	// run completes on a lower rung and says so.
+	sb.Reset()
+	if err := run(&sb, "equijoin", false, false, -1, path); err != nil {
+		t.Fatalf("non-strict run must degrade, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "DEGRADED (equijoin→") {
+		t.Fatalf("missing degradation provenance:\n%s", sb.String())
 	}
 }
 
@@ -84,7 +93,7 @@ func TestRunReportsRoute(t *testing.T) {
 	// A path graph is not complete bipartite, fits the exact budget.
 	path := writeTemp(t, "graph 4\ne 0 1\ne 1 2\ne 2 3\n")
 	var sb strings.Builder
-	if err := run(&sb, "auto", false, -1, path); err != nil {
+	if err := run(&sb, "auto", false, false, -1, path); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "route           exact") {
@@ -96,14 +105,14 @@ func TestRunDecideMode(t *testing.T) {
 	// Spider G_3 has π = 7.
 	path := writeTemp(t, "bipartite 4 3\ne 0 0\ne 1 0\ne 0 1\ne 2 1\ne 0 2\ne 3 2\n")
 	var sb strings.Builder
-	if err := run(&sb, "auto", false, 6, path); err != nil {
+	if err := run(&sb, "auto", false, false, 6, path); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "<= 6 is false") {
 		t.Fatalf("decide output: %s", sb.String())
 	}
 	sb.Reset()
-	if err := run(&sb, "auto", false, 7, path); err != nil {
+	if err := run(&sb, "auto", false, false, 7, path); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "<= 7 is true") {

@@ -18,6 +18,7 @@ import (
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/family"
+	"joinpebble/internal/faultinject"
 	"joinpebble/internal/graph"
 	"joinpebble/internal/solver"
 )
@@ -222,6 +223,23 @@ func PerfSuite(legacy bool) []PerfCase {
 					}
 					if !res.Complete() {
 						b.Fatal("scheme must delete every edge")
+					}
+				}
+			},
+		},
+		{
+			// The disarmed fault-injection fast path: one atomic load, no
+			// branches taken. This series pins the claim that shipping the
+			// sites in hot loops (Held–Karp checkpoints, component solves)
+			// is free when nothing is armed; the solver series above prove
+			// it end to end against the pre-injection baseline.
+			Name: "faultinject/disarmed-fire",
+			Run: func(b *testing.B) {
+				faultinject.Reset()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := faultinject.Fire("bench/disarmed-site"); err != nil {
+						b.Fatal(err)
 					}
 				}
 			},

@@ -6,10 +6,12 @@
 package cmdutil
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"joinpebble/internal/obs"
 	"joinpebble/internal/obs/obshttp"
@@ -72,6 +74,8 @@ type Obs struct {
 	Metrics string // -metrics: JSON snapshot path
 	Trace   string // -trace: JSONL span-tree path
 	PProf   string // -pprof: expvar/pprof listen address
+
+	pprofSrv *obshttp.Server // live debug server; drained in Finish
 }
 
 // BindFlags registers the shared observability flags on fs. pprof is
@@ -91,11 +95,12 @@ func BindFlags(fs *flag.FlagSet, cmd string, withPProf bool) *Obs {
 // Call it right after flag parsing, before any instrumented work.
 func (o *Obs) Start() error {
 	if o.PProf != "" {
-		addr, err := obshttp.Serve(o.PProf)
+		srv, err := obshttp.Start(o.PProf)
 		if err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "%s: pprof/expvar on http://%s/debug/\n", o.cmd, addr)
+		o.pprofSrv = srv
+		fmt.Fprintf(os.Stderr, "%s: pprof/expvar on http://%s/debug/\n", o.cmd, srv.Addr())
 	}
 	if o.Trace != "" {
 		obs.SetTracer(obs.NewTracer())
@@ -104,8 +109,15 @@ func (o *Obs) Start() error {
 }
 
 // Finish writes the metrics snapshot and span trace the flags asked
-// for. It logs each written path to stderr so stdout stays pipeable.
+// for, then drains the debug server so an in-flight scrape is not cut
+// off mid-response. It logs each written path to stderr so stdout stays
+// pipeable.
 func (o *Obs) Finish() error {
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		o.pprofSrv.Shutdown(ctx) //nolint:errcheck // best-effort drain at exit
+	}()
 	if o.Metrics != "" {
 		if err := obs.Default.WriteJSONFile(o.Metrics); err != nil {
 			return err

@@ -2,17 +2,22 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"joinpebble/internal/core"
+	"joinpebble/internal/faultinject"
+	"joinpebble/internal/graph"
 	"joinpebble/internal/obs"
 	"joinpebble/internal/solver"
 )
 
-// Planner routing counters: which ladder rung handled each instance, and
-// how often a family guarantee let the planner skip structural
-// inspection entirely.
+// Planner routing counters: which ladder rung handled each instance, how
+// often a family guarantee let the planner skip structural inspection
+// entirely, and — when the degradation ladder engages — why each fall
+// happened (engine/plan/degraded_* by cause, _runs for runs that
+// completed on a lower rung than planned).
 var (
 	cPlanPerfect    = obs.Default.Counter("engine/plan/perfect")
 	cPlanExact      = obs.Default.Counter("engine/plan/exact")
@@ -21,7 +26,45 @@ var (
 	cPlanGuaranteed = obs.Default.Counter("engine/plan/by_guarantee")
 	cRuns           = obs.Default.Counter("engine/runs")
 	tRun            = obs.Default.Timer("engine/run")
+
+	cDegradedRuns      = obs.Default.Counter("engine/plan/degraded_runs")
+	cDegradedBudget    = obs.Default.Counter("engine/plan/degraded_budget")
+	cDegradedDeadline  = obs.Default.Counter("engine/plan/degraded_deadline")
+	cDegradedPanic     = obs.Default.Counter("engine/plan/degraded_panic")
+	cDegradedStructure = obs.Default.Counter("engine/plan/degraded_structure")
 )
+
+// SiteRung is the fault-injection site fired before every rung attempt
+// in Run (registry in DESIGN.md): inject a wrapped solver sentinel to
+// force any rung to fail without constructing a pathological instance.
+const SiteRung = "engine/rung"
+
+// DegradePolicy configures how Run responds when a ladder rung fails.
+// The zero value degrades: Theorem 3.1 guarantees a 1.25-approximation
+// is always available and Lemma 2.1 a 2m scheme for free, so erroring
+// out when a lower rung still works is a policy choice, not a necessity
+// — strict callers (the CLIs' -strict flag, tests pinning exact
+// behavior) opt out with Off.
+type DegradePolicy struct {
+	// Off disables degradation: the planned rung's failure is the run's
+	// failure, matchable via the solver sentinels it wraps.
+	Off bool
+	// RungFraction is the share of the caller's remaining deadline a
+	// non-final rung may spend before the run falls through to the next
+	// rung (a soft deadline carved from ctx). 0 means 0.5; the final
+	// rung always gets everything left. Ignored when the caller's ctx
+	// has no deadline.
+	RungFraction float64
+}
+
+// Attempt is one rung try in a Run: the solver, how long it ran, and —
+// for failed rungs — the error that pushed the run down the ladder,
+// verbatim. The last attempt of a successful Run has Err == "".
+type Attempt struct {
+	Solver  string        `json:"solver"`
+	Err     string        `json:"err,omitempty"`
+	Elapsed time.Duration `json:"elapsed"`
+}
 
 // Planner inspects instances and routes them down the solver ladder.
 // The zero value is ready to use and routes exactly like solver.Auto, so
@@ -32,9 +75,16 @@ type Planner struct {
 	ExactLimit int
 	// Solver, when non-nil, overrides routing: every instance goes to
 	// this solver regardless of structure (the CLI -solver flag).
+	// Degradation still applies unless Degrade.Off is set: an explicit
+	// solver that trips its budget falls down the ladder like a routed
+	// one.
 	Solver solver.Solver
 	// Snapshot attaches a metrics-registry snapshot to each Result.
 	Snapshot bool
+	// Degrade is the degradation policy Run applies when a rung fails
+	// with a budget, deadline, panic, or structure error. The zero
+	// value degrades down the ladder (exact → approx → naive).
+	Degrade DegradePolicy
 }
 
 // Plan is a routing decision: the rung, the solver implementing it, and
@@ -98,13 +148,26 @@ func routeReason(r solver.Route) string {
 // scheme with its costs and bounds, how it was routed, and (optionally)
 // the metrics snapshot taken right after the solve.
 type Result struct {
-	// Family and Route record the pipeline provenance.
+	// Family and Route record the pipeline provenance. Route is the
+	// *planned* rung; when Degraded is set the scheme actually came from
+	// a lower one (see Solver and Attempts).
 	Family string
 	Route  solver.Route
-	// Solver is the name of the solver that produced the scheme.
+	// Solver is the name of the solver that produced the scheme — the
+	// last entry of Attempts, not necessarily the planned rung.
 	Solver string
 	// Reason is the planner's routing justification.
 	Reason string
+
+	// Degraded reports that the planned rung failed and the scheme came
+	// from a fallback; Attempts is the full rung-by-rung provenance
+	// (every failed rung with its error verbatim, then the rung that
+	// produced the scheme). Quality names the bound the final rung
+	// guarantees — the degradation ladder never leaves the Lemma 2.1
+	// 2m envelope, and every scheme is still simulator-verified.
+	Degraded bool
+	Attempts []Attempt
+	Quality  string
 
 	// Scheme is the pebbling scheme; Cost is its simulator-verified π̂
 	// and EffectiveCost the π = π̂ − β₀ of Definition 2.2.
@@ -132,6 +195,15 @@ type Result struct {
 // against the pebble-game simulator, and assembles the Result. The
 // existing obs spans/counters of the solver layer fire unchanged
 // underneath the engine/solve span.
+//
+// Unless Degrade.Off is set, a rung failure the ladder can absorb — a
+// search budget trip (solver.ErrBudgetExceeded), a per-rung soft
+// deadline (context.DeadlineExceeded while the caller's own ctx is
+// still live), a recovered component panic (solver.ErrPanic), or a
+// structure rejection (solver.ErrStructure) — pushes the run down to
+// the next rung instead of failing it: exact → approx → naive, with
+// every attempt recorded in Result.Attempts. The caller's own
+// cancellation always aborts the run.
 func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
 	cRuns.Inc()
 	start := time.Now()
@@ -143,16 +215,114 @@ func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
 	sp.SetInt("edges", int64(g.M()))
 	sp.SetInt("route", int64(plan.Route))
 
-	scheme, cost, err := solver.SolveAndVerifyContext(ctx, plan.Solver, g)
-	if err != nil {
-		return nil, fmt.Errorf("engine: %s via %s: %w", in.Family, plan.Solver.Name(), err)
+	ladder := p.ladder(plan)
+	var attempts []Attempt
+	for i, s := range ladder {
+		final := i == len(ladder)-1
+		rungCtx, cancel := p.rungContext(ctx, final)
+		rungStart := time.Now()
+		scheme, cost, err := attemptRung(rungCtx, s, g)
+		cancel()
+		if err == nil {
+			attempts = append(attempts, Attempt{Solver: s.Name(), Elapsed: time.Since(rungStart)})
+			res := p.assemble(in, plan, g, s.Name(), scheme, cost, start)
+			res.Attempts = attempts
+			res.Degraded = i > 0
+			if res.Degraded {
+				cDegradedRuns.Inc()
+			}
+			return res, nil
+		}
+		attempts = append(attempts, Attempt{Solver: s.Name(), Err: err.Error(), Elapsed: time.Since(rungStart)})
+		if p.Degrade.Off || final || !countDegradation(ctx, err) {
+			return nil, fmt.Errorf("engine: %s via %s: %w", in.Family, s.Name(), err)
+		}
+		sp.SetInt("degraded", int64(i+1))
 	}
+	panic("engine: empty solver ladder") // ladder always has >= 1 rung
+}
+
+// attemptRung is one ladder rung: the SiteRung fault hook, then the
+// solve + simulator verification.
+func attemptRung(ctx context.Context, s solver.Solver, g *graph.Graph) (core.Scheme, int, error) {
+	if err := faultinject.Fire(SiteRung); err != nil {
+		return nil, 0, err
+	}
+	return solver.SolveAndVerifyContext(ctx, s, g)
+}
+
+// ladder returns the rungs Run tries in order: the planned (or
+// explicitly chosen) solver, then the Theorem 3.1 approximation, then
+// the Lemma 2.1 naive scheme — each guaranteed to exist for any graph,
+// so a non-strict run can always complete.
+func (p *Planner) ladder(plan Plan) []solver.Solver {
+	out := []solver.Solver{plan.Solver}
+	if p.Degrade.Off {
+		return out
+	}
+	for _, fb := range []solver.Solver{solver.Approx125{}, solver.Naive{}} {
+		if fb.Name() != plan.Solver.Name() {
+			out = append(out, fb)
+		}
+	}
+	return out
+}
+
+// rungContext carves a non-final rung's soft deadline out of the
+// caller's remaining budget: RungFraction (default half) of the time
+// left, so every lower rung keeps a share and the final rung gets
+// whatever remains. Callers without a deadline run each rung unbounded.
+func (p *Planner) rungContext(ctx context.Context, final bool) (context.Context, context.CancelFunc) {
+	if final || p.Degrade.Off {
+		return ctx, func() {}
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return ctx, func() {}
+	}
+	remaining := time.Until(dl)
+	if remaining <= 0 {
+		return ctx, func() {}
+	}
+	frac := p.Degrade.RungFraction
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	return context.WithDeadline(ctx, time.Now().Add(time.Duration(float64(remaining)*frac)))
+}
+
+// countDegradation reports whether err is a failure the ladder absorbs,
+// bumping the matching engine/plan/degraded_* counter. The caller's own
+// cancellation or expired deadline is never absorbed: lower rungs would
+// inherit a dead context, and the caller asked to stop.
+func countDegradation(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, solver.ErrBudgetExceeded):
+		cDegradedBudget.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		cDegradedDeadline.Inc() // a rung soft deadline, caller still live
+	case errors.Is(err, solver.ErrPanic):
+		cDegradedPanic.Inc()
+	case errors.Is(err, solver.ErrStructure):
+		cDegradedStructure.Inc()
+	default:
+		return false
+	}
+	return true
+}
+
+// assemble builds the Result for the rung that produced the scheme.
+func (p *Planner) assemble(in *Instance, plan Plan, g *graph.Graph, solverName string, scheme core.Scheme, cost int, start time.Time) *Result {
 	eff := scheme.EffectiveCost(g)
 	res := &Result{
 		Family:        in.Family,
 		Route:         plan.Route,
-		Solver:        plan.Solver.Name(),
+		Solver:        solverName,
 		Reason:        plan.Reason,
+		Quality:       qualityFor(solverName),
 		Scheme:        scheme,
 		Cost:          cost,
 		EffectiveCost: eff,
@@ -168,7 +338,24 @@ func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
 	if p.Snapshot {
 		res.Metrics = obs.Default.Snapshot()
 	}
-	return res, nil
+	return res
+}
+
+// qualityFor names the bound the producing solver's scheme carries —
+// the "how much did degradation cost us" part of the provenance.
+func qualityFor(name string) string {
+	switch name {
+	case "equijoin":
+		return "perfect: π = m (Thm 4.1)"
+	case "exact", "exact-bnb":
+		return "optimal (exact search)"
+	case "approx-1.25":
+		return "π ≤ 1.25m (Thm 3.1)"
+	case "naive":
+		return "π̂ ≤ 2m (Lemma 2.1)"
+	default:
+		return "π̂ ≤ 2m (Lemma 2.1, universal)"
+	}
 }
 
 // Decide answers PEBBLE(D) of Definition 4.1 — is π ≤ K? — through the

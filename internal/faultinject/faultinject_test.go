@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	if err := Fire("nowhere"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() true with nothing armed")
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("sentinel")
+	Arm("site/a", Fault{Err: fmt.Errorf("%w: injected", sentinel)})
+	err := Fire("site/a")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("injected error %v does not match sentinel", err)
+	}
+	// Another site stays clean.
+	if err := Fire("site/b"); err != nil {
+		t.Fatalf("unarmed sibling site returned %v", err)
+	}
+	Disarm("site/a")
+	if err := Fire("site/a"); err != nil {
+		t.Fatalf("disarmed site returned %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() true after Disarm")
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	defer Reset()
+	Arm("site/panic", Fault{Panic: "boom"})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Fire("site/panic")
+	t.Fatal("Fire did not panic")
+}
+
+func TestDelayInjection(t *testing.T) {
+	defer Reset()
+	Arm("site/slow", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("site/slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("Fire returned after %v, want >= 30ms", d)
+	}
+}
+
+// TestSkipAndTimes pins the deterministic activation schedule: Skip
+// suppresses the leading hits, Times caps the activations after that.
+func TestSkipAndTimes(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("sentinel")
+	Arm("site/sched", Fault{Err: sentinel, Skip: 2, Times: 2})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Fire("site/sched") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (schedule %v)", i, got[i], want[i], got)
+		}
+	}
+	if h := Hits("site/sched"); h != 6 {
+		t.Fatalf("Hits = %d, want 6", h)
+	}
+	if f := Fired("site/sched"); f != 2 {
+		t.Fatalf("Fired = %d, want 2", f)
+	}
+}
+
+// TestZeroFaultCountsHits: an inert fault is a pure probe asserting the
+// site is reached.
+func TestZeroFaultCountsHits(t *testing.T) {
+	defer Reset()
+	Arm("site/probe", Fault{})
+	for i := 0; i < 3; i++ {
+		if err := Fire("site/probe"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := Hits("site/probe"); h != 3 {
+		t.Fatalf("Hits = %d, want 3", h)
+	}
+}
+
+// TestConcurrentFire hammers an armed site from many goroutines under
+// -race: the schedule arithmetic must stay consistent (exactly Times
+// activations) no matter the interleaving.
+func TestConcurrentFire(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("sentinel")
+	Arm("site/conc", Fault{Err: sentinel, Times: 5})
+	var wg sync.WaitGroup
+	var fired atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Fire("site/conc") != nil {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fired.Load(); n != 5 {
+		t.Fatalf("%d activations fired, want exactly 5", n)
+	}
+	if h := Hits("site/conc"); h != 800 {
+		t.Fatalf("Hits = %d, want 800", h)
+	}
+}
+
+// BenchmarkDisarmedFire measures the cost every hot-path site pays in
+// production: one atomic load. The bench harness pins this as the
+// faultinject/disarmed-fire series.
+func BenchmarkDisarmedFire(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Fire("solver/component"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,11 +6,13 @@
 package obshttp
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"net/http/pprof"
 	"sync"
+	"time"
 
 	"joinpebble/internal/obs"
 )
@@ -26,16 +28,73 @@ func Publish(name string, r *obs.Registry) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
-// Serve publishes obs.Default as "joinpebble" and starts an HTTP server
-// on addr (e.g. "localhost:6060") in the background, serving /debug/vars
-// and /debug/pprof/. The listener is bound synchronously so bind errors
-// surface to the caller; the returned address is useful with addr ":0".
-func Serve(addr string) (net.Addr, error) {
+// Server is the debug endpoint: an HTTP server bound to one listener,
+// serving /debug/vars and /debug/pprof/ on its own mux (never the
+// DefaultServeMux, so a binary embedding other handlers cannot collide
+// with or accidentally expose ours). It is hardened against misbehaving
+// clients — header, read, and idle timeouts — and shuts down gracefully
+// under a caller-supplied context.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start publishes obs.Default as "joinpebble" and begins serving on addr
+// (e.g. "localhost:6060") in the background. The listener is bound
+// synchronously so bind errors surface to the caller; the Addr method
+// reports the bound address, useful with addr ":0".
+//
+// Timeout policy: slow-loris protection on headers (5s) and request
+// bodies (30s), idle keep-alive connections reaped after 2 minutes. No
+// write timeout — /debug/pprof/profile?seconds=N legitimately streams
+// for N seconds and must not be cut off mid-profile.
+func Start(addr string) (*Server, error) {
 	Publish("joinpebble", obs.Default)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	go http.Serve(ln, nil) //nolint:errcheck // background server dies with the process
-	return ln.Addr(), nil
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown; a binary without Shutdown dies with the process
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Shutdown stops accepting connections and waits for in-flight requests
+// to drain, up to ctx's deadline; past the deadline remaining
+// connections are abandoned and ctx.Err() is returned. Safe to call on
+// a nil receiver (no server started).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// Serve is the fire-and-forget form of Start for callers that want the
+// debug server to live exactly as long as the process: same hardening,
+// no shutdown handle.
+func Serve(addr string) (net.Addr, error) {
+	s, err := Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.Addr(), nil
 }

@@ -70,7 +70,7 @@ func (a Approx125) Solve(g *graph.Graph) (core.Scheme, error) {
 
 // SolveContext implements ContextSolver.
 func (a Approx125) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(ctx, g, a.Name(), func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return solvePerComponent(ctx, g, a.Name(), func(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		return approxComponentOrder(cg, sp, a.SkipTwinElimination, a.Materialize)
 	})
 }

@@ -36,7 +36,7 @@ func (Equijoin) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, 
 	return solvePerComponent(ctx, g, "equijoin", equijoinComponentOrder)
 }
 
-func equijoinComponentOrder(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+func equijoinComponentOrder(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
 	zz := sp.Start("zigzag_order")
 	defer zz.End()
 	left, right, err := completeBipartiteSides(cg)

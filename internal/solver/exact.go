@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"joinpebble/internal/core"
+	"joinpebble/internal/faultinject"
 	"joinpebble/internal/graph"
 	"joinpebble/internal/obs"
 	"joinpebble/internal/tsp"
@@ -35,13 +36,16 @@ func (e Exact) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, e
 	if limit == 0 {
 		limit = tsp.MaxExactCities
 	}
-	return solvePerComponent(ctx, g, "exact", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return solvePerComponent(ctx, g, "exact", func(ctx context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
+		if err := faultinject.Fire(SiteExactBudget); err != nil {
+			return nil, err
+		}
 		if cg.M() > limit {
 			return nil, fmt.Errorf("%w: component with %d edges exceeds exact limit %d", ErrBudgetExceeded, cg.M(), limit)
 		}
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("held_karp")
-		tour, _, err := tsp.Exact(in)
+		tour, _, err := tsp.ExactContext(ctx, in)
 		ts.End()
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -34,7 +35,7 @@ func (Greedy) Solve(g *graph.Graph) (core.Scheme, error) {
 
 // SolveContext implements ContextSolver.
 func (Greedy) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(ctx, g, "greedy", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return solvePerComponent(ctx, g, "greedy", func(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("nearest_neighbor")
 		tour, _ := tsp.NearestNeighbor(in)
@@ -57,7 +58,7 @@ func (GreedyImproved) Solve(g *graph.Graph) (core.Scheme, error) {
 
 // SolveContext implements ContextSolver.
 func (GreedyImproved) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(ctx, g, "greedy+2opt", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return solvePerComponent(ctx, g, "greedy+2opt", func(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("nearest_neighbor")
 		tour, _ := tsp.NearestNeighbor(in)
@@ -82,7 +83,7 @@ func (PathCover) Solve(g *graph.Graph) (core.Scheme, error) {
 
 // SolveContext implements ContextSolver.
 func (PathCover) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(ctx, g, "path-cover", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return solvePerComponent(ctx, g, "path-cover", func(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("path_cover")
 		tour, _ := tsp.GreedyPathCover(in)
@@ -107,7 +108,7 @@ func (CycleCover) Solve(g *graph.Graph) (core.Scheme, error) {
 
 // SolveContext implements ContextSolver.
 func (CycleCover) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(ctx, g, "cycle-cover", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return solvePerComponent(ctx, g, "cycle-cover", func(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("cycle_cover")
 		tour, _, err := tsp.CycleCoverTour(in)
@@ -123,9 +124,15 @@ func (CycleCover) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme
 // Held–Karp: slower in the worst case but without the 2^m memory, so it
 // reaches somewhat larger sparse components. MaxNodes caps the search
 // per component (0 = unlimited); hitting the cap is an error, not a
-// silent approximation.
+// silent approximation — unless Anytime is set.
 type ExactBnB struct {
 	MaxNodes int64
+	// Anytime accepts the search's best-so-far incumbent tour when the
+	// node cap or the context deadline stops it before exhaustion. The
+	// scheme is still simulator-verified and within the universal 2m
+	// bound (the incumbent is seeded with a full nearest-neighbour
+	// tour); only the optimality proof is given up.
+	Anytime bool
 }
 
 // Name implements Solver.
@@ -138,13 +145,24 @@ func (e ExactBnB) Solve(g *graph.Graph) (core.Scheme, error) {
 
 // SolveContext implements ContextSolver.
 func (e ExactBnB) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(ctx, g, "exact-bnb", func(cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	return solvePerComponent(ctx, g, "exact-bnb", func(ctx context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		in := tsp.NewInstance(graph.LineGraph(cg))
 		ts := sp.Start("branch_and_bound")
-		tour, _, exhausted := tsp.BranchAndBound(in, e.MaxNodes)
+		tour, _, exhausted := tsp.BranchAndBoundContext(ctx, in, e.MaxNodes)
 		ts.End()
 		if !exhausted {
-			return nil, fmt.Errorf("%w: branch-and-bound node cap %d hit on component with %d edges", ErrBudgetExceeded, e.MaxNodes, cg.M())
+			cause := ctx.Err()
+			switch {
+			case e.Anytime && (cause == nil || errors.Is(cause, context.DeadlineExceeded)):
+				// Node cap or soft deadline with Anytime set: keep the
+				// incumbent; only the optimality proof is given up. An
+				// explicit cancel still aborts below — the caller is
+				// abandoning the work, not trading quality for time.
+			case cause != nil:
+				return nil, cause
+			default:
+				return nil, fmt.Errorf("%w: branch-and-bound node cap %d hit on component with %d edges", ErrBudgetExceeded, e.MaxNodes, cg.M())
+			}
 		}
 		return []int(tour), nil
 	})

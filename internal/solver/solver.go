@@ -11,10 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"joinpebble/internal/core"
+	"joinpebble/internal/faultinject"
 	"joinpebble/internal/graph"
 	"joinpebble/internal/obs"
 )
@@ -29,6 +31,49 @@ var ErrBudgetExceeded = errors.New("solver: search budget exceeded")
 // graph because it lacks the structure the solver requires (equijoin
 // components that are not complete bipartite, matchings with degree > 1).
 var ErrStructure = errors.New("solver: graph lacks required structure")
+
+// ErrPanic marks a panic recovered inside a component solve and converted
+// to an error, so one poisoned component degrades the run instead of
+// crashing the process. Match with errors.Is; the concrete *PanicError
+// carries the panic value and stack.
+var ErrPanic = errors.New("solver: panic in component solve")
+
+// PanicError is the error a recovered component-solve panic is converted
+// to. It wraps ErrPanic for errors.Is matching and preserves the panic
+// value plus the goroutine stack captured at recovery, so the failure is
+// fully diagnosable after the run has degraded past it.
+type PanicError struct {
+	// Solver names the solver whose component function panicked.
+	Solver string
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the debug.Stack() capture from the recovery point.
+	Stack []byte
+}
+
+// Error implements error. The stack is included so a logged degradation
+// provenance pinpoints the crash site without re-running.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("solver: panic in %s component solve: %v\n%s", e.Solver, e.Value, e.Stack)
+}
+
+// Unwrap makes errors.Is(err, ErrPanic) match.
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// Fault-injection sites fired in this package's hot paths (registry in
+// DESIGN.md). Disarmed cost is one atomic load per component solve —
+// nothing in a per-edge loop.
+const (
+	// SiteComponent fires at the start of every component solve, in both
+	// the sequential and pooled paths: inject an error to fail one
+	// component, a panic to exercise the recovery path, or a delay to
+	// hold a worker mid-flight.
+	SiteComponent = "solver/component"
+	// SiteExactBudget fires before the exact solver's per-component edge
+	// budget check: inject a wrapped ErrBudgetExceeded to force the
+	// budget rung to fail on an instance of any size.
+	SiteExactBudget = "solver/exact/budget"
+)
 
 // Observability: every Solve is a span tree (solver name -> phases ->
 // per-component solves) on the active tracer, and the per-phase timers
@@ -101,9 +146,29 @@ func SolveContext(ctx context.Context, s Solver, g *graph.Graph) (core.Scheme, e
 
 // connectedOrderFunc computes an edge-visit order for one connected
 // component, given the component's subgraph. The order is in
-// component-local edge indices. sp is the component's trace span (nil
-// when tracing is off); solvers hang their phase spans off it.
-type connectedOrderFunc func(cg *graph.Graph, sp *obs.Span) ([]int, error)
+// component-local edge indices. ctx bounds the component solve — solvers
+// with interruptible inner loops (exact search) thread it down so a
+// deadline unwinds mid-component, not just at component boundaries. sp
+// is the component's trace span (nil when tracing is off); solvers hang
+// their phase spans off it.
+type connectedOrderFunc func(ctx context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error)
+
+// runComponentOrder invokes fn on one component with the failure
+// containment every call site needs: the SiteComponent fault hook fires
+// first, and a panic anywhere under fn is recovered into a *PanicError
+// carrying the stack, so one poisoned component surfaces as an ordinary
+// error the engine can degrade on instead of crashing the process.
+func runComponentOrder(ctx context.Context, name string, cg *graph.Graph, sp *obs.Span, fn connectedOrderFunc) (order []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Solver: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Fire(SiteComponent); err != nil {
+		return nil, err
+	}
+	return fn(ctx, cg, sp)
+}
 
 // solvePerComponent decomposes g into connected components, applies fn to
 // each edge-bearing component, stitches the local orders back into a
@@ -114,10 +179,14 @@ type connectedOrderFunc func(cg *graph.Graph, sp *obs.Span) ([]int, error)
 // bounded worker pool (see Parallelism) and the local orders are merged
 // back in component order, so the result is independent of scheduling.
 //
-// Cancellation is checked between components: once ctx is done no new
-// component solve starts and the call returns ctx.Err(), so even an
-// exponential multi-component solve unwinds at the next component
-// boundary.
+// Cancellation is observed at two granularities: between components
+// (once ctx is done no new component solve starts) and — for solvers
+// whose component functions thread ctx into their inner loops, like the
+// exact search — inside a component, so even one huge component unwinds
+// promptly. A component failure (error or recovered panic) cancels the
+// pool's context so in-flight siblings drain at their next checkpoint
+// and queued ones never start; the first failure in component order
+// among the components that actually ran is the one reported.
 func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn connectedOrderFunc) (core.Scheme, error) {
 	if g.M() == 0 {
 		return core.Scheme{}, nil
@@ -145,7 +214,7 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 		solveStart := time.Now()
 		compSpan := root.Start("component_solve")
 		compSpan.SetInt("edges", int64(g.M()))
-		order, err := fn(g, compSpan)
+		order, err := runComponentOrder(ctx, name, g, compSpan, fn)
 		compSpan.End()
 		tComponentSolve.Observe(time.Since(solveStart))
 		if err != nil {
@@ -200,8 +269,13 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 
 	orders := make([][]int, len(jobs))
 	errs := make([]error, len(jobs))
+	// poolCtx lets the first failing component drain the whole pool:
+	// siblings with interruptible inner loops unwind at their next
+	// checkpoint, queued jobs never start.
+	poolCtx, cancelPool := context.WithCancel(ctx)
+	defer cancelPool()
 	solveJob := func(ji int) {
-		if err := ctx.Err(); err != nil {
+		if err := poolCtx.Err(); err != nil {
 			errs[ji] = err
 			return
 		}
@@ -209,15 +283,18 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 		compSpan := root.Start("component_solve")
 		compSpan.SetInt("component", int64(jobs[ji].ci))
 		compSpan.SetInt("edges", int64(jobs[ji].cg.M()))
-		orders[ji], errs[ji] = fn(jobs[ji].cg, compSpan)
+		orders[ji], errs[ji] = runComponentOrder(poolCtx, name, jobs[ji].cg, compSpan, fn)
 		compSpan.End()
 		tComponentSolve.Observe(time.Since(start))
+		if errs[ji] != nil {
+			cancelPool()
+		}
 	}
 	w := workerCount(len(jobs))
 	cWorkersUsed.Add(int64(w))
 	if w <= 1 {
 		for ji := range jobs {
-			if ctx.Err() != nil {
+			if poolCtx.Err() != nil {
 				break
 			}
 			solveJob(ji)
@@ -238,22 +315,36 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 		for ji := range jobs {
 			select {
 			case idx <- ji:
-			case <-ctx.Done():
+			case <-poolCtx.Done():
 				break feed
 			}
 		}
 		close(idx)
 		wg.Wait()
 	}
-	if err := ctx.Err(); err != nil {
+	// Report the failure that drained the pool, not the context.Canceled
+	// errors the drain induced in its siblings — unless the caller's own
+	// cancellation caused the drain, which outranks everything. A
+	// cancellation that arrived only after every component completed is
+	// deliberately ignored: anytime component solves (ExactBnB.Anytime)
+	// may hand back a finished incumbent right as a soft deadline
+	// expires, and a complete verified solve beats a discarded one.
+	if err := firstRealError(errs); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		for ji, jb := range jobs {
+			if len(orders[ji]) != jb.cg.M() {
+				return nil, err // canceled before this component ran
+			}
+		}
 	}
 
 	var globalOrder []int
 	for ji, jb := range jobs {
-		if errs[ji] != nil {
-			return nil, errs[ji]
-		}
 		if len(orders[ji]) != jb.cg.M() {
 			return nil, fmt.Errorf("solver: component order covers %d of %d edges", len(orders[ji]), jb.cg.M())
 		}
@@ -262,6 +353,26 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 		}
 	}
 	return schemeFromOrderTimed(root, g, globalOrder)
+}
+
+// firstRealError returns the first error in component order that is not
+// a pool-drain context.Canceled, falling back to the first error of any
+// kind (all-canceled can only happen when the caller canceled, which the
+// caller-context check above already owns).
+func firstRealError(errs []error) error {
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
 }
 
 // schemeFromOrderTimed is core.SchemeFromEdgeOrder wrapped in the

@@ -1,9 +1,11 @@
 package tsp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"joinpebble/internal/faultinject"
 	"joinpebble/internal/obs"
 )
 
@@ -14,6 +16,26 @@ var (
 	cHeldKarpStates = obs.Default.Counter("tsp/heldkarp/states_expanded")
 	cBnBNodes       = obs.Default.Counter("tsp/bnb/nodes_expanded")
 )
+
+// Fault-injection sites (see the registry in DESIGN.md). Both sit at the
+// search loops' cancellation checkpoints, so an armed Delay reliably
+// pushes a deadline past expiry mid-component — the scenario the engine's
+// degradation ladder must survive.
+const (
+	// SiteExactExpand fires every checkpointMask+1 Held–Karp subset
+	// expansions; an injected error aborts the search with that error.
+	SiteExactExpand = "tsp/exact/expand"
+	// SiteBnBExpand fires every checkpointMask+1 branch-and-bound node
+	// expansions; an injected error aborts the search as if canceled,
+	// returning the incumbent.
+	SiteBnBExpand = "tsp/bnb/expand"
+)
+
+// checkpointMask spaces the cancellation checks in both search loops:
+// ctx.Err is consulted every checkpointMask+1 expansions, so a canceled
+// context unwinds a component within a bounded number of expansions
+// instead of only at component boundaries.
+const checkpointMask = 0x3FF
 
 // MaxExactCities bounds the Held–Karp solver: the DP table has
 // 2^n * n uint16 entries, so 24 cities ≈ 800 MB is the practical ceiling;
@@ -26,6 +48,15 @@ const MaxExactCities = 22
 // error for instances above MaxExactCities; callers should fall back to
 // BranchAndBound or a heuristic.
 func Exact(in *Instance) (Tour, int, error) {
+	return ExactContext(context.Background(), in)
+}
+
+// ExactContext is Exact bounded by ctx: the subset loop checks ctx at
+// every checkpoint (checkpointMask+1 subset expansions), so cancellation
+// unwinds promptly even inside one huge component. Held–Karp has no
+// usable partial answer — a canceled search returns ctx.Err() and the
+// caller is expected to fall down the solver ladder.
+func ExactContext(ctx context.Context, in *Instance) (Tour, int, error) {
 	n := in.N()
 	if n == 0 {
 		return Tour{}, 0, nil
@@ -61,6 +92,16 @@ func Exact(in *Instance) (Tour, int, error) {
 
 	var states int64
 	for s := 1; s < size; s++ {
+		if s&checkpointMask == 0 {
+			if err := faultinject.Fire(SiteExactExpand); err != nil {
+				cHeldKarpStates.Add(states)
+				return nil, 0, err
+			}
+			if err := ctx.Err(); err != nil {
+				cHeldKarpStates.Add(states)
+				return nil, 0, err
+			}
+		}
 		base := s * n
 		for v := 0; v < n; v++ {
 			cur := dp[base+v]
@@ -115,16 +156,29 @@ func Exact(in *Instance) (Tour, int, error) {
 // worst case. maxNodes caps the search; 0 means unlimited. If the cap is
 // hit it returns the best tour found plus ok=false.
 func BranchAndBound(in *Instance, maxNodes int64) (Tour, int, bool) {
+	return BranchAndBoundContext(context.Background(), in, maxNodes)
+}
+
+// BranchAndBoundContext is BranchAndBound bounded by ctx. The search is
+// *anytime*: it seeds an incumbent with nearest neighbour before the
+// first expansion, so when ctx expires (checked every checkpointMask+1
+// node expansions, well inside one component) it returns the best tour
+// found so far with exhausted=false instead of nothing — the caller gets
+// a valid, possibly suboptimal tour and can tell optimality was not
+// proven. The node cap reports the same way.
+func BranchAndBoundContext(ctx context.Context, in *Instance, maxNodes int64) (Tour, int, bool) {
 	n := in.N()
 	if n == 0 {
 		return Tour{}, 0, true
 	}
-	// Seed the incumbent with nearest neighbour so pruning bites early.
+	// Seed the incumbent with nearest neighbour so pruning bites early
+	// and a canceled search still has a full tour to hand back.
 	bestTour, bestCost := NearestNeighbor(in)
 	used := make([]bool, n)
 	path := make(Tour, 0, n)
 	var nodes int64
 	exhausted := true
+	stopped := false // cancellation or injected abort; sticky like the cap
 
 	// Remaining-deficit lower bound: each unvisited vertex still needs
 	// good incidences; recompute cheaply from static degrees. We use the
@@ -132,6 +186,19 @@ func BranchAndBound(in *Instance, maxNodes int64) (Tour, int, bool) {
 	var dfs func(v, cost int)
 	dfs = func(v, cost int) {
 		nodes++
+		if stopped {
+			return
+		}
+		if nodes&checkpointMask == 0 {
+			if err := faultinject.Fire(SiteBnBExpand); err != nil {
+				stopped, exhausted = true, false
+				return
+			}
+			if ctx.Err() != nil {
+				stopped, exhausted = true, false
+				return
+			}
+		}
 		if maxNodes > 0 && nodes > maxNodes {
 			exhausted = false
 			return
@@ -169,7 +236,7 @@ func BranchAndBound(in *Instance, maxNodes int64) (Tour, int, bool) {
 			}
 		}
 	}
-	for s := 0; s < n; s++ {
+	for s := 0; s < n && !stopped; s++ {
 		used[s] = true
 		path = append(path, s)
 		dfs(s, 0)
