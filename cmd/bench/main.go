@@ -24,7 +24,6 @@ import (
 	"runtime"
 	"strings"
 	"testing"
-	"time"
 
 	"joinpebble/internal/bench"
 	"joinpebble/internal/engine/cmdutil"
@@ -56,7 +55,7 @@ func main() {
 		}
 	}
 
-	date := time.Now().Format("2006-01-02")
+	date := obs.Now().Format("2006-01-02")
 	path := *out
 	if path == "" {
 		if *legacy {

@@ -216,9 +216,9 @@ func run(selected []bench.Experiment, j int) []outcome {
 func runOne(e bench.Experiment) outcome {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := obs.Now()
 	table, err := e.Run()
-	wall := time.Since(start)
+	wall := obs.Since(start)
 	runtime.ReadMemStats(&after)
 	return outcome{table: table, err: err, wall: wall, allocs: after.TotalAlloc - before.TotalAlloc}
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// joinlintBin is the compiled command under test; the golden tests run
+// the real binary against a self-contained fixture module so loading,
+// diagnostics formatting, and exit codes are covered end to end.
+var joinlintBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "joinlint-golden")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	joinlintBin = filepath.Join(dir, "joinlint")
+	if out, err := exec.Command("go", "build", "-o", joinlintBin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building joinlint: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run with -update to accept):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// runJoinlint executes the binary inside the fixture module and returns
+// its stdout, stderr, and exit code.
+func runJoinlint(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(joinlintBin, args...)
+	cmd.Dir = filepath.Join("testdata", "fixturemod")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running joinlint: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestGoldenFindings lints the deliberately broken fixture package and
+// pins the exact diagnostics and the findings exit code.
+func TestGoldenFindings(t *testing.T) {
+	stdout, stderr, code := runJoinlint(t, "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("unexpected stderr:\n%s", stderr)
+	}
+	checkGolden(t, "findings", []byte(stdout))
+}
+
+// TestCleanExitsZero lints only the compliant package: no output,
+// exit 0.
+func TestCleanExitsZero(t *testing.T) {
+	stdout, stderr, code := runJoinlint(t, "./clean")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no diagnostics, got:\n%s", stdout)
+	}
+}
+
+// TestBadPatternExitsTwo asserts the usage-error contract: an
+// unloadable pattern exits 2.
+func TestBadPatternExitsTwo(t *testing.T) {
+	_, stderr, code := runJoinlint(t, "./no/such/package")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage)\nstderr:\n%s", code, stderr)
+	}
+}
+
+// TestGensitesMatchesCommitted regenerates the site registry from the
+// repo's DESIGN.md into a scratch file and requires it to match the
+// committed registry_gen.go — the same pin TestRegistryGenerated
+// enforces from the sitereg side, here exercised through the CLI.
+func TestGensitesMatchesCommitted(t *testing.T) {
+	root := filepath.Join("..", "..")
+	out := filepath.Join(t.TempDir(), "registry_gen.go")
+	cmd := exec.Command(joinlintBin,
+		"-gensites",
+		"-design", filepath.Join(root, "DESIGN.md"),
+		"-genout", out,
+	)
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("joinlint -gensites: %v\n%s", err, b)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(root, "internal", "analysis", "passes", "sitereg", "registry_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-gensites output differs from committed registry_gen.go:\n--- generated ---\n%s--- committed ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,112 @@
+// Command joinlint runs the repo's first-party static analyzers
+// (internal/analysis/passes/...) over Go package patterns and reports
+// violations of invariants no generic linter knows: the hot-path
+// allocation contract, constant obs names, the fault-site registry,
+// sentinel wrapping, search-loop cancellation cadence, and the
+// forbidden ambient globals.
+//
+// Usage:
+//
+//	joinlint [packages]            lint (default ./...)
+//	joinlint -gensites             regenerate sitereg's registry_gen.go
+//	                               from DESIGN.md's site table
+//
+// Exit codes follow the cmdutil convention: 0 clean, 1 findings or
+// runtime failure, 2 usage errors (bad patterns, unloadable packages).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"joinpebble/internal/analysis"
+	"joinpebble/internal/analysis/load"
+	"joinpebble/internal/analysis/passes/ctxloop"
+	"joinpebble/internal/analysis/passes/forbidden"
+	"joinpebble/internal/analysis/passes/hotalloc"
+	"joinpebble/internal/analysis/passes/obsnames"
+	"joinpebble/internal/analysis/passes/sitereg"
+	"joinpebble/internal/analysis/passes/wraperr"
+	"joinpebble/internal/engine/cmdutil"
+)
+
+// analyzers is the full suite, in the order diagnostics credit them.
+var analyzers = []*analysis.Analyzer{
+	ctxloop.Analyzer,
+	forbidden.Analyzer,
+	hotalloc.Analyzer,
+	obsnames.Analyzer,
+	sitereg.Analyzer,
+	wraperr.Analyzer,
+}
+
+func main() {
+	var (
+		gensites = flag.Bool("gensites", false, "regenerate the sitereg registry from -design and exit")
+		design   = flag.String("design", "DESIGN.md", "path to DESIGN.md (for -gensites)")
+		genout   = flag.String("genout", filepath.Join("internal", "analysis", "passes", "sitereg", "registry_gen.go"), "output path for -gensites")
+	)
+	flag.Parse()
+
+	if *gensites {
+		cmdutil.Exit("joinlint", runGensites(*design, *genout))
+		return
+	}
+
+	found, err := runLint(flag.Args())
+	cmdutil.Exit("joinlint", err)
+	if found {
+		os.Exit(1)
+	}
+}
+
+// runLint loads the patterns, runs every analyzer, prints diagnostics
+// as "path:line:col: message (analyzer)", and reports whether any were
+// found.
+func runLint(patterns []string) (bool, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset := token.NewFileSet()
+	pkgs, err := load.Load(".", fset, patterns)
+	if err != nil {
+		return false, cmdutil.Usagef("loading packages: %v", err)
+	}
+	units := make([]analysis.Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, analysis.Unit{Files: p.Files, Pkg: p.Pkg, Info: p.Info})
+	}
+	diags, err := analysis.Run(fset, units, analyzers)
+	if err != nil {
+		return false, err
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	return len(diags) > 0, nil
+}
+
+// runGensites rewrites sitereg's generated registry from the DESIGN.md
+// site table, keeping the compiled-in list and the docs in lockstep.
+func runGensites(design, out string) error {
+	sites, err := sitereg.ParseDesign(design)
+	if err != nil {
+		return cmdutil.Usagef("%v", err)
+	}
+	if err := os.WriteFile(out, sitereg.GenSource(sites), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("joinlint: wrote %d sites to %s\n", len(sites), out)
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package bad violates one invariant per analyzer (ctxloop aside,
+// which is path-scoped to the real search packages and covered by its
+// analysistest fixtures). The golden test asserts joinlint reports
+// exactly these findings and exits 1.
+package bad
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"joinpebble/internal/faultinject"
+	"joinpebble/internal/obs"
+	"joinpebble/internal/solver"
+)
+
+// ErrBad is a sentinel by the repo convention.
+var ErrBad = errors.New("bad: failure")
+
+func dynamicMetric(alg string) *obs.Counter {
+	return obs.Default.Counter("bad/" + alg + "/ops")
+}
+
+func fireInline() error {
+	return faultinject.Fire("bad/inline-site")
+}
+
+func compareSentinel(err error) bool {
+	return err == ErrBad
+}
+
+func wrapWrong(err error) error {
+	if errors.Is(err, solver.ErrBudgetExceeded) {
+		return fmt.Errorf("bad: %v", solver.ErrBudgetExceeded)
+	}
+	return err
+}
+
+func bareClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// hotAppend claims the hot-path contract and breaks it.
+//
+//joinpebble:hotpath
+func hotAppend(dst []int, v int) []int {
+	return append(dst, v)
+}

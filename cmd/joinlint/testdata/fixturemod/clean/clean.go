@@ -1,0 +1,46 @@
+// Package clean follows every invariant; the golden test asserts
+// joinlint exits 0 and prints nothing on it.
+package clean
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"joinpebble/internal/faultinject"
+	"joinpebble/internal/obs"
+	"joinpebble/internal/solver"
+)
+
+// ErrClean is a sentinel, wrapped and compared the sanctioned way.
+var ErrClean = errors.New("clean: failure")
+
+// SiteClean names a registered fault site.
+const SiteClean = "engine/rung"
+
+var cOps = obs.Default.Counter("clean/ops")
+
+func fire() error {
+	return faultinject.Fire(SiteClean)
+}
+
+func wrap(n int) error {
+	return fmt.Errorf("step %d: %w", n, ErrClean)
+}
+
+func check(err error) bool {
+	return errors.Is(err, ErrClean) || errors.Is(err, solver.ErrBudgetExceeded)
+}
+
+func elapsed() time.Duration {
+	start := obs.Now()
+	cOps.Inc()
+	return obs.Since(start)
+}
+
+// hotStore honors the hot-path contract.
+//
+//joinpebble:hotpath
+func hotStore(dst []int, k, v int) {
+	dst[k] = v
+}

@@ -1,0 +1,7 @@
+module joinpebble/fixturemod
+
+go 1.22
+
+require joinpebble v0.0.0
+
+replace joinpebble => ../../../..

@@ -13,6 +13,7 @@ import (
 
 	"joinpebble/internal/family"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/reduction"
 	"joinpebble/internal/solver"
 	"joinpebble/internal/tsp"
@@ -28,21 +29,21 @@ func exponentialVsLinear() {
 	fmt.Println("== Theorem 4.2 vs 4.1: exact solving explodes, equijoins stay linear ==")
 	for _, n := range []int{5, 7, 9} {
 		g := family.Spider(n).Graph()
-		start := time.Now()
+		start := obs.Now()
 		cost, err := solver.OptimalCost(g)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  spider-%d (m=%2d): exact π̂=%d in %v\n", n, g.M(), cost, time.Since(start).Round(time.Microsecond))
+		fmt.Printf("  spider-%d (m=%2d): exact π̂=%d in %v\n", n, g.M(), cost, obs.Since(start).Round(time.Microsecond))
 	}
 	for _, k := range []int{100, 1000} {
 		g := graph.CompleteBipartite(k, 50).Graph()
-		start := time.Now()
+		start := obs.Now()
 		_, cost, err := solver.SolveAndVerify(solver.Equijoin{}, g)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  K(%d,50) (m=%d): equijoin π̂=%d in %v\n", k, g.M(), cost, time.Since(start).Round(time.Microsecond))
+		fmt.Printf("  K(%d,50) (m=%d): equijoin π̂=%d in %v\n", k, g.M(), cost, obs.Since(start).Round(time.Microsecond))
 	}
 }
 

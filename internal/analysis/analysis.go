@@ -1,0 +1,210 @@
+// Package analysis is a small first-party analogue of
+// golang.org/x/tools/go/analysis: named analyzers running over
+// typechecked packages, reporting position-tagged diagnostics, and
+// exchanging package-level facts for whole-program checks.
+//
+// It exists because the repo pins project-specific invariants — the
+// hot-path allocation contract, constant obs metric names, the
+// fault-site registry, sentinel wrapping discipline, cancellation
+// cadence in search loops — that no generic linter knows about, and the
+// container this repo builds in has no module proxy, so the real
+// x/tools framework cannot be vendored. The API mirrors the upstream
+// shape (Analyzer/Pass/Diagnostic) closely enough that porting the
+// passes onto x/tools later is mechanical.
+//
+// Differences from upstream, deliberate:
+//
+//   - Facts are package-scoped values aggregated by the driver and
+//     handed to an analyzer's Finish hook after every package ran, so
+//     global-uniqueness checks (duplicate metric names, duplicate fault
+//     sites) see the whole analyzed set, not just the import cone.
+//   - Suppression is built into the driver: a line comment
+//     `//joinlint:ignore <analyzer>[,<analyzer>] reason` on the
+//     offending line or the line above it drops the diagnostic. The
+//     reason is mandatory by convention (DESIGN.md).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: the analyzer that produced it, where, and
+// why. Positions resolve against the driver's shared FileSet.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// PackageFact is a fact one package's Run exported, tagged with the
+// package's import path for Finish-time aggregation.
+type PackageFact struct {
+	Path string
+	Fact any
+}
+
+// Pass carries one package's syntax and types into an analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	export func(any)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportFact publishes a fact for this package; the driver hands every
+// exported fact to the analyzer's Finish hook once all packages ran.
+func (p *Pass) ExportFact(fact any) { p.export(fact) }
+
+// FinishPass carries the aggregated facts of every analyzed package
+// into an analyzer's Finish hook.
+type FinishPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Facts    []PackageFact
+
+	report func(Diagnostic)
+}
+
+// Reportf records a whole-program diagnostic at pos.
+func (f *FinishPass) Reportf(pos token.Pos, format string, args ...any) {
+	f.report(Diagnostic{Analyzer: f.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one invariant checker. Run executes per package; Finish,
+// when non-nil, executes once afterwards over all exported facts.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+	// Finish runs after every package's Run completed, for checks that
+	// need the whole analyzed set (cross-package duplicates).
+	Finish func(*FinishPass) error
+}
+
+// Unit is one typechecked package the driver runs analyzers over.
+type Unit struct {
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run executes every analyzer over every unit, then the Finish hooks,
+// and returns the surviving diagnostics sorted by position. Diagnostics
+// on a line carrying (or directly below) a matching joinlint:ignore
+// directive are dropped.
+func Run(fset *token.FileSet, units []Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var (
+		diags []Diagnostic
+		facts = map[*Analyzer][]PackageFact{}
+	)
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		for _, u := range units {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+				report:    collect,
+			}
+			path := u.Pkg.Path()
+			pass.export = func(fact any) {
+				facts[a] = append(facts[a], PackageFact{Path: path, Fact: fact})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		fp := &FinishPass{Analyzer: a, Fset: fset, Facts: facts[a], report: collect}
+		if err := a.Finish(fp); err != nil {
+			return nil, fmt.Errorf("analyzer %s finish: %w", a.Name, err)
+		}
+	}
+	diags = filterIgnored(fset, units, diags)
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+var ignoreRE = regexp.MustCompile(`^//joinlint:ignore\s+([a-z0-9_,]+)\s+\S`)
+
+// filterIgnored drops diagnostics suppressed by joinlint:ignore
+// directives. A directive suppresses the named analyzers on its own
+// line and on the line directly below (the usual "comment above the
+// statement" placement).
+func filterIgnored(fset *token.FileSet, units []Unit, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	ignored := map[key]map[string]bool{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, name := range strings.Split(m[1], ",") {
+						for _, line := range []int{pos.Line, pos.Line + 1} {
+							k := key{pos.Filename, line}
+							if ignored[k] == nil {
+								ignored[k] = map[string]bool{}
+							}
+							ignored[k][name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if ignored[key{pos.Filename, pos.Line}][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

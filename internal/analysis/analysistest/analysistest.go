@@ -1,0 +1,235 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// test's testdata directory and checks its diagnostics against
+// `// want "regexp"` comments, mirroring the x/tools package of the
+// same name.
+//
+// Layout is the upstream convention: testdata/src/<importpath>/*.go.
+// Fixture packages may import each other (resolved inside testdata
+// first) and any real package — standard library or joinpebble/... —
+// which the loader imports from build-cache export data. Mirroring a
+// real import path under testdata/src (e.g. joinpebble/internal/tsp)
+// makes path-scoped analyzers treat the fixture as that package.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"joinpebble/internal/analysis"
+	"joinpebble/internal/analysis/load"
+)
+
+// loader resolves fixture packages from testdata/src, falling back to
+// export data for everything else.
+type loader struct {
+	t      *testing.T
+	fset   *token.FileSet
+	srcdir string
+	gc     types.Importer
+	cache  map[string]*load.Package
+	order  []string // fixture load order, for deterministic unit lists
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p.Pkg, nil
+	}
+	if dir := filepath.Join(l.srcdir, filepath.FromSlash(path)); hasGoFiles(dir) {
+		p, err := l.loadFixture(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.gc.Import(path)
+}
+
+func (l *loader) loadFixture(path, dir string) (*load.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysistest: no .go files in %s", dir)
+	}
+	files, err := load.ParsePackage(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: typechecking %s: %w", path, err)
+	}
+	p := &load.Package{ImportPath: path, Dir: dir, Files: files, Pkg: pkg, Info: info}
+	l.cache[path] = p
+	l.order = append(l.order, path)
+	return p, nil
+}
+
+// hasGoFiles reports whether dir holds a fixture package (at least one
+// .go file). Bare intermediate directories — testdata/src/a/b when only
+// a/b/c is a fixture — don't shadow real packages on the same path.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// want is one expectation parsed from a `// want` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// Run loads each fixture package under testdata/src, runs a over all
+// of them (including one shared Finish pass, so cross-package fact
+// checks are exercised), and matches diagnostics against the fixtures'
+// `// want` comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	srcdir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	exports := load.NewExportData("")
+	if err := exports.Preload("joinpebble/..."); err != nil {
+		t.Fatalf("preloading export data: %v", err)
+	}
+	l := &loader{
+		t:      t,
+		fset:   fset,
+		srcdir: srcdir,
+		gc:     importer.ForCompiler(fset, "gc", exports.Lookup),
+		cache:  map[string]*load.Package{},
+	}
+	requested := map[string]bool{}
+	for _, path := range pkgpaths {
+		requested[path] = true
+		dir := filepath.Join(srcdir, filepath.FromSlash(path))
+		if !hasGoFiles(dir) {
+			t.Fatalf("fixture package %s: no .go files in %s", path, dir)
+		}
+		if _, err := l.loadFixture(path, dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every fixture package loaded (roots plus fixture-local imports)
+	// is analyzed; want comments are honored wherever they appear.
+	var units []analysis.Unit
+	for _, path := range l.order {
+		p := l.cache[path]
+		units = append(units, analysis.Unit{Files: p.Files, Pkg: p.Pkg, Info: p.Info})
+	}
+	diags, err := analysis.Run(fset, units, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*want
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, w := range parseWants(t, pos, m[1]) {
+						wants = append(wants, w)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants splits `"re1" "re2"` (double- or backquoted) into
+// expectations anchored at pos.
+func parseWants(t *testing.T, pos token.Position, s string) []*want {
+	t.Helper()
+	var out []*want
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want clause %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != quote || (quote == '"' && s[end-1] == '\\')) {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		lit := s[:end+1]
+		s = s[end+1:]
+		text, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+		}
+		re, err := regexp.Compile(text)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+	}
+}

@@ -1,0 +1,205 @@
+// Package load turns `go list` package patterns into typechecked
+// syntax for the analysis driver, with no dependency outside the
+// standard library.
+//
+// The matched packages themselves are parsed and typechecked from
+// source (analyzers need their syntax); everything they import —
+// standard library and module packages alike — is imported from the
+// compiler export data `go list -export` leaves in the build cache.
+// That keeps a joinlint run at one `go list` invocation plus one
+// typecheck per analyzed package, works fully offline, and gives the
+// analyzers the compiler's own view of dependency types.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Package is one analyzed package: its syntax plus type information.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// ExportData maps import paths to compiler export-data files via
+// `go list -export`, with on-demand fallback for paths outside the
+// preloaded dependency closure. Safe for concurrent Lookup.
+type ExportData struct {
+	dir string
+
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// NewExportData returns an empty map resolving against the module
+// containing dir ("" = current directory).
+func NewExportData(dir string) *ExportData {
+	return &ExportData{dir: dir, m: map[string]string{}}
+}
+
+// Preload runs `go list -deps -export` on patterns and records every
+// export-data file it reports.
+func (e *ExportData) Preload(patterns ...string) error {
+	pkgs, err := goList(e.dir, patterns)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.m[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// Lookup opens the export data for path, listing it on demand if the
+// preloaded closure misses it. It is the lookup function handed to the
+// gc importer.
+func (e *ExportData) Lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	f, ok := e.m[path]
+	e.mu.Unlock()
+	if !ok {
+		if err := e.Preload(path); err != nil {
+			return nil, fmt.Errorf("load: no export data for %q: %w", path, err)
+		}
+		e.mu.Lock()
+		f, ok = e.m[path]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("load: go list produced no export data for %q", path)
+		}
+	}
+	return os.Open(f)
+}
+
+// goList runs `go list -deps -export -json` in dir over patterns.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %w", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// ParsePackage parses the named files (absolute paths or relative to
+// dir) with comments.
+func ParsePackage(fset *token.FileSet, dir string, files []string) ([]*ast.File, error) {
+	var out []*ast.File
+	for _, name := range files {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Load lists patterns in dir, then parses and typechecks every matched
+// package (dependencies are imported from export data, not analyzed).
+// Packages come back sorted by import path.
+func Load(dir string, fset *token.FileSet, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := NewExportData(dir)
+	exports.mu.Lock()
+	for _, p := range listed {
+		if p.Export != "" {
+			exports.m[p.ImportPath] = p.Export
+		}
+	}
+	exports.mu.Unlock()
+	imp := importer.ForCompiler(fset, "gc", exports.Lookup)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		files, err := ParsePackage(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", p.ImportPath, err)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}

@@ -1,0 +1,15 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"joinpebble/internal/analysis/analysistest"
+	"joinpebble/internal/analysis/passes/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer,
+		"joinpebble/internal/tsp", // mirrored path: in scope
+		"ctxloopout",              // not a search package: ignored
+	)
+}

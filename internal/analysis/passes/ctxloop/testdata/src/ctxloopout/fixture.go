@@ -1,0 +1,11 @@
+// Package ctxloopout is outside the search packages; ctxloop must
+// ignore even a blatantly unchecked expansion loop here.
+package ctxloopout
+
+import "joinpebble/internal/faultinject"
+
+func fireLoop(n int) {
+	for i := 0; i < n; i++ {
+		_ = faultinject.Fire("out/fixture")
+	}
+}

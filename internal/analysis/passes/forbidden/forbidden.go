@@ -1,0 +1,83 @@
+// Package forbidden bans three classes of ambient global state:
+//
+//   - http.DefaultServeMux (directly, or implicitly via http.Handle and
+//     http.HandleFunc) — handlers registered on a process-wide mux leak
+//     between tests and between subsystems; construct a mux.
+//   - the top-level math/rand functions (rand.Intn, rand.Shuffle, ...),
+//     which draw from the process-wide source — the repo's workloads
+//     are reproducible only because every generator threads a seeded
+//     *rand.Rand (rand.New/NewSource/NewZipf stay legal).
+//   - bare time.Now/Since/Until outside internal/obs and
+//     engine/cmdutil — wall-time reads go through obs.Now/Since/Until
+//     so tests can inject the clock (see internal/obs/clock.go).
+package forbidden
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"joinpebble/internal/analysis"
+)
+
+// Analyzer is the forbidden pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "forbidden",
+	Doc:  "ban DefaultServeMux, global math/rand, and bare time.Now outside the clock seam",
+	Run:  run,
+}
+
+// clockExempt reports whether pkg may read time directly: the obs tree
+// (it implements the seam) and engine/cmdutil (it parses -timeout style
+// flags at process edge, before obs is configured).
+func clockExempt(path string) bool {
+	return path == "joinpebble/internal/obs" ||
+		strings.HasPrefix(path, "joinpebble/internal/obs/") ||
+		path == "joinpebble/internal/engine/cmdutil"
+}
+
+// randAllowed are the math/rand package-level functions that construct
+// seeded generators rather than using the global source.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	exemptClock := clockExempt(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Any mention of the DefaultServeMux variable (always a
+			// package-qualified selector from outside net/http).
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				obj := analysis.UsedObject(info, sel)
+				if obj != nil && obj.Name() == "DefaultServeMux" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+					pass.Reportf(sel.Pos(), "http.DefaultServeMux is process-global state; construct a mux with http.NewServeMux")
+				}
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg, name := fn.Pkg().Path(), fn.Name()
+			sig, _ := fn.Type().(*types.Signature)
+			isTopLevel := sig != nil && sig.Recv() == nil
+			switch {
+			case pkg == "net/http" && isTopLevel && (name == "Handle" || name == "HandleFunc"):
+				pass.Reportf(call.Pos(), "http.%s registers on the global DefaultServeMux; construct a mux with http.NewServeMux", name)
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && isTopLevel && !randAllowed[name]:
+				pass.Reportf(call.Pos(), "math/rand global %s draws from the process-wide source; thread a seeded *rand.Rand (rand.New) instead", name)
+			case pkg == "time" && isTopLevel && !exemptClock && (name == "Now" || name == "Since" || name == "Until"):
+				pass.Reportf(call.Pos(), "bare time.%s; use obs.%s so tests can inject the clock", name, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

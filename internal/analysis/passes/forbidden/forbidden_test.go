@@ -1,0 +1,15 @@
+package forbidden_test
+
+import (
+	"testing"
+
+	"joinpebble/internal/analysis/analysistest"
+	"joinpebble/internal/analysis/passes/forbidden"
+)
+
+func TestForbidden(t *testing.T) {
+	analysistest.Run(t, forbidden.Analyzer,
+		"forbiddenfix",
+		"joinpebble/internal/obs/clockfix", // exempt path: bare time.Now allowed
+	)
+}

@@ -1,0 +1,46 @@
+// Package forbiddenfix exercises all three forbidden-global rules.
+package forbiddenfix
+
+import (
+	"math/rand"
+	"net/http"
+	"time"
+
+	"joinpebble/internal/obs"
+)
+
+func mux() http.Handler {
+	http.HandleFunc("/x", func(http.ResponseWriter, *http.Request) {}) // want `http\.HandleFunc registers on the global DefaultServeMux`
+	http.Handle("/y", http.NotFoundHandler())                          // want `http\.Handle registers on the global DefaultServeMux`
+	return http.DefaultServeMux                                        // want `http\.DefaultServeMux is process-global state`
+}
+
+func ownMux() http.Handler {
+	m := http.NewServeMux()
+	m.HandleFunc("/x", func(http.ResponseWriter, *http.Request) {})
+	return m
+}
+
+func globalRand(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `math/rand global Shuffle draws from the process-wide source`
+	return rand.Intn(n)                // want `math/rand global Intn draws from the process-wide source`
+}
+
+func seededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func elapsed() time.Duration {
+	start := time.Now()      // want `bare time\.Now; use obs\.Now`
+	return time.Since(start) // want `bare time\.Since; use obs\.Since`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `bare time\.Until; use obs\.Until`
+}
+
+func injected() time.Duration {
+	start := obs.Now()
+	return obs.Since(start)
+}

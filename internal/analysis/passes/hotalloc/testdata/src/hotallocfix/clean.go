@@ -1,0 +1,45 @@
+package hotallocfix
+
+// pushClean writes by index into preallocated storage: the shape
+// hotalloc wants hot paths to take.
+//
+//joinpebble:hotpath
+func pushClean(r *ring, v int) bool {
+	if r.head >= len(r.buf) {
+		return false
+	}
+	r.buf[r.head] = v
+	r.head++
+	return true
+}
+
+// notAnnotated allocates freely; hotalloc must stay silent without the
+// annotation.
+func notAnnotated() []int {
+	out := make([]int, 0, 4)
+	return append(out, 1, 2, 3)
+}
+
+// pointerBoxing is fine: pointer-shaped values fit the interface word.
+//
+//joinpebble:hotpath
+func pointerBoxing(r *ring) interface{} {
+	var x interface{} = r
+	return x
+}
+
+// constConcat stays constant-folded.
+//
+//joinpebble:hotpath
+func constConcat() string {
+	const prefix = "join/"
+	return prefix + "hash"
+}
+
+// suppressed shows the escape hatch.
+//
+//joinpebble:hotpath
+func suppressed(r *ring, v int) {
+	//joinlint:ignore hotalloc grow-once warm-up path measured separately
+	r.buf = append(r.buf, v)
+}

@@ -1,0 +1,37 @@
+package hotallocfix
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+//joinpebble:hotpath
+func pushAllocating(r *ring, v int) {
+	r.buf = append(r.buf, v)  // want `append may grow and reallocate`
+	fmt.Println(v)            // want `fmt\.Println allocates` `converting int to an interface allocates`
+	scratch := make([]int, 8) // want `make allocates`
+	_ = scratch
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	s := []int{v} // want `slice literal allocates`
+	_ = s
+	p := &ring{} // want `&composite literal allocates`
+	_ = p
+	var sink interface{} = v // want `converting int to an interface allocates`
+	_ = sink
+	go func() {}() // want `go statement allocates a goroutine`
+}
+
+//joinpebble:hotpath
+func stringWork(name string, raw []byte) string {
+	s := string(raw) // want `conversion \[\]byte -> string copies its operand`
+	t := name + s    // want `non-constant string concatenation allocates`
+	return t
+}
+
+//joinpebble:hotpath
+func escapingClosure(r *ring) func() int {
+	return func() int { return r.head } // want `closure captures r and escapes to the heap`
+}

@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"joinpebble/internal/analysis/analysistest"
+	"joinpebble/internal/analysis/passes/obsnames"
+)
+
+func TestObsnames(t *testing.T) {
+	analysistest.Run(t, obsnames.Analyzer, "obsnamesa", "obsnamesb")
+}

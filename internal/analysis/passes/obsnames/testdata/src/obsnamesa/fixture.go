@@ -1,0 +1,39 @@
+// Package obsnamesa exercises the per-package obsnames rules plus one
+// half of a cross-package duplicate.
+package obsnamesa
+
+import "joinpebble/internal/obs"
+
+const goodName = "fixture/a/ops"
+
+var (
+	cGood = obs.Default.Counter(goodName)
+	cDup  = obs.Default.Counter("fixture/dup/ops") // want `metric name "fixture/dup/ops" is also registered by obsnamesb`
+	cBad  = obs.Default.Counter("Fixture.Ops")     // want `obs counter name "Fixture\.Ops" must match`
+)
+
+func dynamicName(alg string) *obs.Counter {
+	return obs.Default.Counter("fixture/" + alg + "/ops") // want `obs counter name must be a compile-time constant string`
+}
+
+// spanName is the solvePerComponent pattern: the name parameter of an
+// unexported function is validated at its call sites instead.
+func spanName(name string) *obs.Span {
+	return obs.StartSpan(name)
+}
+
+func useSpans() {
+	sp := spanName("greedy+2opt") // display names with + and - are legal span names
+	sp.End()
+	bad := spanName("Greedy 2opt") // want `obs span name "Greedy 2opt" must match`
+	bad.End()
+}
+
+func forwardTwice(name string) {
+	sp := spanName(name) // want `obs span name passed to spanName must be a compile-time constant string`
+	sp.End()
+}
+
+func timers() *obs.Timer {
+	return obs.Default.Timer("fixture/a/latency")
+}

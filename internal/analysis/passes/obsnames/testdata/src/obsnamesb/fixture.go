@@ -1,0 +1,9 @@
+// Package obsnamesb holds the other half of the cross-package
+// duplicate metric.
+package obsnamesb
+
+import "joinpebble/internal/obs"
+
+var cDup = obs.Default.Counter("fixture/dup/ops") // want `metric name "fixture/dup/ops" is also registered by obsnamesa`
+
+var hSizes = obs.Default.Histogram("fixture/b/sizes", obs.Pow2Buckets(8))

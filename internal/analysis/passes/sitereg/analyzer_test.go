@@ -1,0 +1,12 @@
+package sitereg_test
+
+import (
+	"testing"
+
+	"joinpebble/internal/analysis/analysistest"
+	"joinpebble/internal/analysis/passes/sitereg"
+)
+
+func TestSitereg(t *testing.T) {
+	analysistest.Run(t, sitereg.Analyzer, "siteregfix")
+}

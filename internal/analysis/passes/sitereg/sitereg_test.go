@@ -1,0 +1,30 @@
+package sitereg
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegistryGenerated pins registry_gen.go to DESIGN.md: if the site
+// table changes, `joinlint -gensites` must be rerun.
+func TestRegistryGenerated(t *testing.T) {
+	sites, err := ParseDesign(filepath.Join("..", "..", "..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GenSource(sites)
+	got, err := os.ReadFile("registry_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("registry_gen.go is stale; run `go run ./cmd/joinlint -gensites`\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+	for _, s := range sites {
+		if !Registry[s] {
+			t.Errorf("site %q parsed from DESIGN.md missing from compiled Registry", s)
+		}
+	}
+}

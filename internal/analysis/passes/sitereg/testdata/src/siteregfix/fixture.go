@@ -1,0 +1,41 @@
+// Package siteregfix exercises every sitereg rule.
+package siteregfix
+
+import "joinpebble/internal/faultinject"
+
+const (
+	// SiteGood reuses a registered site value; in the fixture set it is
+	// declared exactly once, so only the real tree's owner would clash.
+	SiteGood = "engine/rung"
+	// SiteUnregistered is a well-formed constant missing from DESIGN.md.
+	SiteUnregistered = "fixture/unregistered"
+	// SiteDupA and SiteDupB claim the same value from two constants.
+	SiteDupA = "solver/component"
+	SiteDupB = "solver/component"
+)
+
+func fireGood() error {
+	return faultinject.Fire(SiteGood)
+}
+
+func fireLiteral() error {
+	return faultinject.Fire("fixture/inline") // want `faultinject\.Fire site must be a named package-level constant`
+}
+
+func fireLocal() error {
+	const site = "fixture/local"
+	return faultinject.Fire(site) // want `faultinject\.Fire site must be a named package-level constant`
+}
+
+func fireUnregistered() error {
+	return faultinject.Fire(SiteUnregistered) // want `faultinject site "fixture/unregistered" is not in DESIGN\.md's site registry`
+}
+
+func fireDups() {
+	_ = faultinject.Fire(SiteDupA) // want `fault site "solver/component" is also declared by siteregfix\.SiteDupB`
+	_ = faultinject.Fire(SiteDupB) // want `fault site "solver/component" is also declared by siteregfix\.SiteDupA`
+}
+
+func armLiteral() {
+	faultinject.Arm("fixture/armed", faultinject.Fault{}) // want `faultinject\.Arm site must be a named package-level constant`
+}

@@ -1,0 +1,55 @@
+// Package wraperrfix exercises both wraperr rules against a local
+// sentinel and a real one imported from the solver.
+package wraperrfix
+
+import (
+	"errors"
+	"fmt"
+
+	"joinpebble/internal/solver"
+)
+
+// ErrLocal is a sentinel by the repo's naming convention.
+var ErrLocal = errors.New("wraperrfix: local failure")
+
+// notASentinel doesn't match ErrXxx; wraperr ignores it.
+var notASentinel = errors.New("wraperrfix: anonymous")
+
+func compare(err error) string {
+	if err == ErrLocal { // want `sentinel ErrLocal compared with ==`
+		return "local"
+	}
+	if err != solver.ErrBudgetExceeded { // want `sentinel ErrBudgetExceeded compared with !=`
+		return "other"
+	}
+	if err == notASentinel {
+		return "anon"
+	}
+	return "budget"
+}
+
+func compareSwitch(err error) string {
+	switch err {
+	case ErrLocal: // want `sentinel ErrLocal in a switch case compares with ==`
+		return "local"
+	case nil:
+		return "none"
+	}
+	return "other"
+}
+
+func wrapWrong(n int) error {
+	return fmt.Errorf("component %d: %v", n, ErrLocal) // want `sentinel ErrLocal formatted with %v; use %w`
+}
+
+func wrapString() error {
+	return fmt.Errorf("cause: %s", solver.ErrBudgetExceeded) // want `sentinel ErrBudgetExceeded formatted with %s; use %w`
+}
+
+func wrapRight(n int) error {
+	return fmt.Errorf("component %d: %w", n, ErrLocal)
+}
+
+func checkRight(err error) bool {
+	return errors.Is(err, ErrLocal) || errors.Is(err, solver.ErrBudgetExceeded)
+}

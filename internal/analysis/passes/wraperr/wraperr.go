@@ -1,0 +1,154 @@
+// Package wraperr enforces the sentinel-error discipline the
+// degradation ladder depends on: the engine decides whether a rung
+// failure is a budget problem (fall to the next rung) or a structural
+// one (give up) by errors.Is against package sentinels like
+// solver.ErrBudgetExceeded, so a sentinel embedded with %v instead of
+// %w, or compared with ==, silently breaks the ladder.
+//
+// Two rules, applied to every package-level `var ErrXxx` of error type
+// (the repo's sentinel naming convention):
+//
+//   - fmt.Errorf arguments that are sentinels must be formatted with
+//     %w, not %v/%s/%d, so the sentinel stays in the unwrap chain.
+//   - sentinels must never be compared with == or != (including switch
+//     cases); use errors.Is, which sees through wrapping.
+package wraperr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"joinpebble/internal/analysis"
+)
+
+// Analyzer is the wraperr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wraperr",
+	Doc:  "package sentinels must be wrapped with %w and compared with errors.Is",
+	Run:  run,
+}
+
+var sentinelNameRE = regexp.MustCompile(`^Err[A-Z]`)
+
+// isSentinel reports whether expr uses a package-level error variable
+// following the ErrXxx naming convention, in any package.
+func isSentinel(info *types.Info, expr ast.Expr) (types.Object, bool) {
+	obj := analysis.UsedObject(info, expr)
+	v, ok := obj.(*types.Var)
+	if !ok || !analysis.IsPackageLevel(v) || !sentinelNameRE.MatchString(v.Name()) {
+		return nil, false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !types.Implements(v.Type(), errType) {
+		return nil, false
+	}
+	return v, true
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkComparison(pass, n)
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkComparison(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		if obj, ok := isSentinel(pass.TypesInfo, side); ok {
+			// `err == nil` style checks never reach here (nil is not a
+			// sentinel), so any hit is a real identity comparison.
+			pass.Reportf(cmp.Pos(), "sentinel %s compared with %s; use errors.Is, which sees through %%w wrapping", obj.Name(), cmp.Op)
+		}
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if obj, ok := isSentinel(pass.TypesInfo, e); ok {
+				pass.Reportf(e.Pos(), "sentinel %s in a switch case compares with ==; use errors.Is in an if/else chain", obj.Name())
+			}
+		}
+	}
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fn := analysis.CalleeFunc(info, call)
+	if !analysis.FuncIs(fn, "fmt", "", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := analysis.ConstString(info, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // explicit argument indexes; too clever to check
+	}
+	for i, arg := range call.Args[1:] {
+		obj, sentinel := isSentinel(info, arg)
+		if !sentinel || i >= len(verbs) {
+			continue
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "sentinel %s formatted with %%%c; use %%w so errors.Is and the degradation ladder still match it", obj.Name(), verbs[i])
+		}
+	}
+}
+
+// formatVerbs returns the verb letter consumed by each successive
+// argument of a Printf-style format. It reports ok=false for formats
+// using explicit argument indexes or '*' width/precision, where the
+// positional mapping is not one-to-one.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		for i < len(format) && (format[i] >= '0' && format[i] <= '9' || format[i] == '.') {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			i++
+		case '[', '*':
+			return nil, false
+		default:
+			verbs = append(verbs, format[i])
+			i++
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,12 @@
+package wraperr_test
+
+import (
+	"testing"
+
+	"joinpebble/internal/analysis/analysistest"
+	"joinpebble/internal/analysis/passes/wraperr"
+)
+
+func TestWraperr(t *testing.T) {
+	analysistest.Run(t, wraperr.Analyzer, "wraperrfix")
+}

@@ -3,11 +3,11 @@ package bench
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"joinpebble/internal/family"
 	"joinpebble/internal/graph"
 	"joinpebble/internal/join"
+	"joinpebble/internal/obs"
 	"joinpebble/internal/solver"
 	"joinpebble/internal/workload"
 )
@@ -77,12 +77,12 @@ func E6Equijoin() (*Table, error) {
 			if g.M() == 0 {
 				continue
 			}
-			start := time.Now()
+			start := obs.Now()
 			scheme, cost, err := solver.SolveAndVerify(solver.Equijoin{}, g)
 			if err != nil {
 				return nil, err
 			}
-			elapsed := time.Since(start)
+			elapsed := obs.Since(start)
 			perfect := scheme.EffectiveCost(g) == g.M()
 			t.AddRow(sz, sz/10, skew, g.M(), cost, g.M()+schemeBetti(g), perfect,
 				elapsed.Nanoseconds()/int64(g.M()))

@@ -38,6 +38,10 @@ type PerfCase struct {
 // against existing BENCH_*.json files, so don't.
 const perfSeed = 7
 
+// SiteBenchDisarmed is the never-armed fault site the
+// faultinject/disarmed-fire series measures (DESIGN.md site registry).
+const SiteBenchDisarmed = "bench/disarmed-site"
+
 func perfBipartite(nl, nr, m int) *graph.Graph {
 	rng := rand.New(rand.NewSource(perfSeed))
 	return graph.RandomConnectedBipartite(rng, nl, nr, m).Graph()
@@ -238,7 +242,7 @@ func PerfSuite(legacy bool) []PerfCase {
 				faultinject.Reset()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if err := faultinject.Fire("bench/disarmed-site"); err != nil {
+					if err := faultinject.Fire(SiteBenchDisarmed); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -206,7 +206,7 @@ type Result struct {
 // cancellation always aborts the run.
 func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
 	cRuns.Inc()
-	start := time.Now()
+	start := obs.Now()
 	sp := obs.StartSpan("engine/solve")
 	defer sp.End()
 
@@ -220,11 +220,11 @@ func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
 	for i, s := range ladder {
 		final := i == len(ladder)-1
 		rungCtx, cancel := p.rungContext(ctx, final)
-		rungStart := time.Now()
+		rungStart := obs.Now()
 		scheme, cost, err := attemptRung(rungCtx, s, g)
 		cancel()
 		if err == nil {
-			attempts = append(attempts, Attempt{Solver: s.Name(), Elapsed: time.Since(rungStart)})
+			attempts = append(attempts, Attempt{Solver: s.Name(), Elapsed: obs.Since(rungStart)})
 			res := p.assemble(in, plan, g, s.Name(), scheme, cost, start)
 			res.Attempts = attempts
 			res.Degraded = i > 0
@@ -233,7 +233,7 @@ func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
 			}
 			return res, nil
 		}
-		attempts = append(attempts, Attempt{Solver: s.Name(), Err: err.Error(), Elapsed: time.Since(rungStart)})
+		attempts = append(attempts, Attempt{Solver: s.Name(), Err: err.Error(), Elapsed: obs.Since(rungStart)})
 		if p.Degrade.Off || final || !countDegradation(ctx, err) {
 			return nil, fmt.Errorf("engine: %s via %s: %w", in.Family, s.Name(), err)
 		}
@@ -280,7 +280,7 @@ func (p *Planner) rungContext(ctx context.Context, final bool) (context.Context,
 	if !ok {
 		return ctx, func() {}
 	}
-	remaining := time.Until(dl)
+	remaining := obs.Until(dl)
 	if remaining <= 0 {
 		return ctx, func() {}
 	}
@@ -288,7 +288,7 @@ func (p *Planner) rungContext(ctx context.Context, final bool) (context.Context,
 	if frac <= 0 || frac >= 1 {
 		frac = 0.5
 	}
-	return context.WithDeadline(ctx, time.Now().Add(time.Duration(float64(remaining)*frac)))
+	return context.WithDeadline(ctx, obs.Now().Add(time.Duration(float64(remaining)*frac)))
 }
 
 // countDegradation reports whether err is a failure the ladder absorbs,
@@ -332,7 +332,7 @@ func (p *Planner) assemble(in *Instance, plan Plan, g *graph.Graph, solverName s
 		Vertices:      g.N(),
 		Edges:         g.M(),
 		Components:    core.Betti0(g),
-		Elapsed:       time.Since(start),
+		Elapsed:       obs.Since(start),
 	}
 	tRun.Observe(res.Elapsed)
 	if p.Snapshot {

@@ -127,6 +127,8 @@ func Fired(name string) int64 {
 // Fire is the production-side hook: call it at a named site; it applies
 // the armed fault's effects, if any. While nothing is armed anywhere it
 // is a no-op after one atomic load, so it is safe in hot paths.
+//
+//joinpebble:hotpath
 func Fire(name string) error {
 	if armedCount.Load() == 0 {
 		return nil

@@ -86,6 +86,8 @@ func (s *spanSorter) Swap(i, j int) {
 
 // lookup returns the edge index of {u,v} by binary search over the sorted
 // neighbor span of the lower-degree endpoint.
+//
+//joinpebble:hotpath
 func (c *csr) lookup(u, v int) (int, bool) {
 	if c.start[u+1]-c.start[u] > c.start[v+1]-c.start[v] {
 		u, v = v, u

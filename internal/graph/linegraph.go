@@ -1,8 +1,6 @@
 package graph
 
 import (
-	"time"
-
 	"joinpebble/internal/obs"
 )
 
@@ -119,15 +117,26 @@ var (
 // LineGraphView, which lets claw checks walk L(G) without materializing
 // it.
 func FindClawIn(a Adjacency) (center int, leaves [3]int, ok bool) {
-	start := time.Now()
+	start := obs.Now()
 	defer func() {
-		tClawDetection.Observe(time.Since(start))
+		tClawDetection.Observe(obs.Since(start))
 		cClawChecks.Inc()
 		if ok {
 			cClawsFound.Inc()
 		}
 	}()
-	var nb []int
+	return clawScan(a, nil)
+}
+
+// clawScan is the kernel of FindClawIn: for every vertex of degree at
+// least 3 it tests neighbor triples for pairwise non-adjacency. nb is
+// neighbor scratch reused across vertices (nil is fine — the callee's
+// first AppendNeighbors sizes it); the scan itself performs no
+// allocating construct, so the O(n·Δ³) adjacency-test loop costs only
+// the HasEdge probes.
+//
+//joinpebble:hotpath
+func clawScan(a Adjacency, nb []int) (center int, leaves [3]int, ok bool) {
 	for v := 0; v < a.N(); v++ {
 		if a.Degree(v) < 3 {
 			continue

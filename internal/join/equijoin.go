@@ -8,9 +8,9 @@ import (
 )
 
 var (
-	mHashJoin        = newAlgMetrics("hash")
-	mSortMerge       = newAlgMetrics("sort_merge")
-	mSortMergeZigzag = newAlgMetrics("sort_merge_zigzag")
+	mHashJoin        = newAlgMetrics("join/hash/tuples_compared", "join/hash/pairs_emitted")
+	mSortMerge       = newAlgMetrics("join/sort_merge/tuples_compared", "join/sort_merge/pairs_emitted")
+	mSortMergeZigzag = newAlgMetrics("join/sort_merge_zigzag/tuples_compared", "join/sort_merge_zigzag/pairs_emitted")
 )
 
 // HashJoin is the classic build/probe hash equijoin over a comparable

@@ -29,10 +29,14 @@ type algMetrics struct {
 	emitted  *obs.Counter
 }
 
-func newAlgMetrics(name string) algMetrics {
+// newAlgMetrics takes the two full metric names (always literal
+// "join/<algorithm>/tuples_compared" / "join/<algorithm>/pairs_emitted"
+// pairs) so every name in the metric surface is a greppable constant —
+// the obsnames analyzer validates them at each call site.
+func newAlgMetrics(compared, emitted string) algMetrics {
 	return algMetrics{
-		compared: obs.Default.Counter("join/" + name + "/tuples_compared"),
-		emitted:  obs.Default.Counter("join/" + name + "/pairs_emitted"),
+		compared: obs.Default.Counter(compared),
+		emitted:  obs.Default.Counter(emitted),
 	}
 }
 
@@ -42,7 +46,7 @@ func (m algMetrics) flush(compared, emitted int64) {
 }
 
 var (
-	mNestedLoop = newAlgMetrics("nested_loop")
+	mNestedLoop = newAlgMetrics("join/nested_loop/tuples_compared", "join/nested_loop/pairs_emitted")
 
 	// Audit accounting: the emission-order pebbling cost of every audited
 	// run lands in one histogram, so a -metrics snapshot carries the π̂

@@ -3,9 +3,9 @@ package join
 import "joinpebble/internal/sets"
 
 var (
-	mSignatureNL     = newAlgMetrics("signature_nested_loop")
-	mInvertedIndex   = newAlgMetrics("inverted_index")
-	mPartitionedSets = newAlgMetrics("partitioned_set")
+	mSignatureNL     = newAlgMetrics("join/signature_nested_loop/tuples_compared", "join/signature_nested_loop/pairs_emitted")
+	mInvertedIndex   = newAlgMetrics("join/inverted_index/tuples_compared", "join/inverted_index/pairs_emitted")
+	mPartitionedSets = newAlgMetrics("join/partitioned_set/tuples_compared", "join/partitioned_set/pairs_emitted")
 )
 
 // SignatureNestedLoop is the signature-filtered nested-loop containment

@@ -3,9 +3,9 @@ package join
 import "joinpebble/internal/spatial"
 
 var (
-	mRTreeJoin = newAlgMetrics("rtree")
-	mSweepJoin = newAlgMetrics("sweep")
-	mPolygonNL = newAlgMetrics("polygon_nested_loop")
+	mRTreeJoin = newAlgMetrics("join/rtree/tuples_compared", "join/rtree/pairs_emitted")
+	mSweepJoin = newAlgMetrics("join/sweep/tuples_compared", "join/sweep/pairs_emitted")
+	mPolygonNL = newAlgMetrics("join/polygon_nested_loop/tuples_compared", "join/polygon_nested_loop/pairs_emitted")
 )
 
 // RTreeJoin is the index-nested-loop spatial join: build an R-tree on the

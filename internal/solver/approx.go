@@ -3,7 +3,6 @@ package solver
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
@@ -55,12 +54,19 @@ type Approx125 struct {
 	Materialize bool
 }
 
+// The two display names, as constants so they can double as root span
+// names (the obsnames analyzer requires constant span names).
+const (
+	nameApprox       = "approx-1.25"
+	nameApproxNoTwin = "approx-1.25(no-twin-elim)"
+)
+
 // Name implements Solver.
 func (a Approx125) Name() string {
 	if a.SkipTwinElimination {
-		return "approx-1.25(no-twin-elim)"
+		return nameApproxNoTwin
 	}
-	return "approx-1.25"
+	return nameApprox
 }
 
 // Solve implements Solver.
@@ -70,9 +76,15 @@ func (a Approx125) Solve(g *graph.Graph) (core.Scheme, error) {
 
 // SolveContext implements ContextSolver.
 func (a Approx125) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
-	return solvePerComponent(ctx, g, a.Name(), func(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
+	fn := func(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
 		return approxComponentOrder(cg, sp, a.SkipTwinElimination, a.Materialize)
-	})
+	}
+	// Two literal call sites so the span name stays a compile-time
+	// constant either way.
+	if a.SkipTwinElimination {
+		return solvePerComponent(ctx, g, nameApproxNoTwin, fn)
+	}
+	return solvePerComponent(ctx, g, nameApprox, fn)
 }
 
 func approxComponentOrder(cg *graph.Graph, sp *obs.Span, skipTwins, materialize bool) ([]int, error) {
@@ -84,11 +96,11 @@ func approxComponentOrder(cg *graph.Graph, sp *obs.Span, skipTwins, materialize 
 		lg = graph.NewLineGraphView(cg)
 	}
 	lgSpan.End()
-	partStart := time.Now()
+	partStart := obs.Now()
 	partSpan := sp.Start("path_partition")
 	pieces, err := pathPartition(lg, skipTwins)
 	partSpan.End()
-	tPathPartition.Observe(time.Since(partStart))
+	tPathPartition.Observe(obs.Since(partStart))
 	if err != nil {
 		return nil, err
 	}

@@ -43,21 +43,34 @@ func equijoinComponentOrder(_ context.Context, cg *graph.Graph, sp *obs.Span) ([
 	if err != nil {
 		return nil, err
 	}
-	order := make([]int, 0, cg.M())
+	order := make([]int, cg.M())
+	zigzagEmit(cg, left, right, order)
+	return order, nil
+}
+
+// zigzagEmit writes the boustrophedon edge order of Lemma 3.2 into out,
+// which the caller preallocates to cg.M() = |left|·|right| — the kernel
+// itself only indexes, so the emission loop stays allocation-free no
+// matter how large the component is.
+//
+//joinpebble:hotpath
+func zigzagEmit(cg *graph.Graph, left, right, out []int) {
+	k := 0
 	for i, u := range left {
 		if i%2 == 0 {
 			for j := 0; j < len(right); j++ {
 				idx, _ := cg.EdgeIndex(u, right[j])
-				order = append(order, idx)
+				out[k] = idx
+				k++
 			}
 		} else {
 			for j := len(right) - 1; j >= 0; j-- {
 				idx, _ := cg.EdgeIndex(u, right[j])
-				order = append(order, idx)
+				out[k] = idx
+				k++
 			}
 		}
 	}
-	return order, nil
 }
 
 // completeBipartiteSides verifies cg is a complete bipartite graph and

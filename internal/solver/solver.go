@@ -13,7 +13,6 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
-	"time"
 
 	"joinpebble/internal/core"
 	"joinpebble/internal/faultinject"
@@ -199,7 +198,7 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 	defer root.End()
 	root.SetInt("edges", int64(g.M()))
 
-	splitStart := time.Now()
+	splitStart := obs.Now()
 	splitSpan := root.Start("component_split")
 	g.Optimize() // one compact-index build serves every lookup below
 	comps := g.Components()
@@ -211,12 +210,12 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 		tSplit.ObserveSince(splitStart)
 		cComponentsSolved.Inc()
 		cWorkersUsed.Inc()
-		solveStart := time.Now()
+		solveStart := obs.Now()
 		compSpan := root.Start("component_solve")
 		compSpan.SetInt("edges", int64(g.M()))
 		order, err := runComponentOrder(ctx, name, g, compSpan, fn)
 		compSpan.End()
-		tComponentSolve.Observe(time.Since(solveStart))
+		tComponentSolve.Observe(obs.Since(solveStart))
 		if err != nil {
 			return nil, err
 		}
@@ -279,13 +278,13 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 			errs[ji] = err
 			return
 		}
-		start := time.Now()
+		start := obs.Now()
 		compSpan := root.Start("component_solve")
 		compSpan.SetInt("component", int64(jobs[ji].ci))
 		compSpan.SetInt("edges", int64(jobs[ji].cg.M()))
 		orders[ji], errs[ji] = runComponentOrder(poolCtx, name, jobs[ji].cg, compSpan, fn)
 		compSpan.End()
-		tComponentSolve.Observe(time.Since(start))
+		tComponentSolve.Observe(obs.Since(start))
 		if errs[ji] != nil {
 			cancelPool()
 		}
@@ -378,11 +377,11 @@ func firstRealError(errs []error) error {
 // schemeFromOrderTimed is core.SchemeFromEdgeOrder wrapped in the
 // scheme_build phase accounting.
 func schemeFromOrderTimed(root *obs.Span, g *graph.Graph, order []int) (core.Scheme, error) {
-	start := time.Now()
+	start := obs.Now()
 	sp := root.Start("scheme_build")
 	scheme, err := core.SchemeFromEdgeOrder(g, order)
 	sp.End()
-	tSchemeBuild.Observe(time.Since(start))
+	tSchemeBuild.Observe(obs.Since(start))
 	return scheme, err
 }
 
