@@ -11,6 +11,8 @@
 //	bench -tolerance 1.30      # fail when cur/base ns exceeds 1.30
 //	bench -run approx125       # only series whose name contains the string
 //	bench -benchtime 1x        # smoke mode: one iteration per series (CI)
+//	bench -smoke               # reduced-size kernel suite (claw scan,
+//	                           #   approx-1.25); implies -nocompare
 //
 // The -legacy arm writes BENCH_<date>-legacy.json and is never chosen as
 // an automatic baseline; diffing it against the same-day normal report is
@@ -39,6 +41,7 @@ func main() {
 	runFilter := flag.String("run", "", "only run series whose name contains this substring")
 	benchtime := flag.String("benchtime", "", "per-series time budget, e.g. 2s or 1x (default: testing's 1s)")
 	noCompare := flag.Bool("nocompare", false, "skip the baseline comparison")
+	smoke := flag.Bool("smoke", false, "run the reduced-size kernel smoke suite instead of the pinned suite (implies -nocompare)")
 	obsFlags := cmdutil.BindFlags(flag.CommandLine, "bench", true)
 	flag.Parse()
 
@@ -58,7 +61,11 @@ func main() {
 	date := obs.Now().Format("2006-01-02")
 	path := *out
 	if path == "" {
-		if *legacy {
+		if *smoke {
+			// Keep smoke reports away from the BENCH_<date>.json names
+			// LatestReport scans for baselines.
+			path = fmt.Sprintf("BENCH_%s-smoke.json", date)
+		} else if *legacy {
 			path = fmt.Sprintf("BENCH_%s-legacy.json", date)
 		} else {
 			path = fmt.Sprintf("BENCH_%s.json", date)
@@ -71,9 +78,17 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Legacy:     *legacy,
+		Smoke:      *smoke,
 	}
 
-	for _, pc := range bench.PerfSuite(*legacy) {
+	suite := bench.PerfSuite(*legacy)
+	if *smoke {
+		// Smoke series use distinct names on purpose; comparing them
+		// against a pinned baseline would report every series as gone.
+		suite = bench.SmokeSuite()
+		*noCompare = true
+	}
+	for _, pc := range suite {
 		if *runFilter != "" && !strings.Contains(pc.Name, *runFilter) {
 			continue
 		}

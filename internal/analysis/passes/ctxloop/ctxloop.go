@@ -1,7 +1,7 @@
 // Package ctxloop enforces the cancellation cadence of search loops in
-// internal/tsp and internal/solver: any loop (or self-recursive
-// function) that expands search state — identified by calling
-// faultinject.Fire, which the repo places exactly at expansion
+// internal/tsp, internal/solver, and internal/graph: any loop (or
+// self-recursive function) that expands search state — identified by
+// calling faultinject.Fire, which the repo places exactly at expansion
 // checkpoints — must also consult ctx.Err or ctx.Done, and if the check
 // sits behind a stride guard (`x&mask == 0` or `x%n == 0`), the stride
 // must be bounded (<= MaxStride), so a canceled context unwinds within
@@ -23,10 +23,13 @@ import (
 // latency unbounded in practice.
 const MaxStride = 4096
 
-// scopedPkgs are the packages whose loops do search expansion.
+// scopedPkgs are the packages whose loops do search expansion — the TSP
+// and solver search trees plus the graph package's claw-scan kernel,
+// whose per-vertex probe loop carries the same checkpoint discipline.
 var scopedPkgs = map[string]bool{
 	"joinpebble/internal/tsp":    true,
 	"joinpebble/internal/solver": true,
+	"joinpebble/internal/graph":  true,
 }
 
 // Analyzer is the ctxloop pass.

@@ -9,7 +9,8 @@ import (
 
 func TestCtxloop(t *testing.T) {
 	analysistest.Run(t, ctxloop.Analyzer,
-		"joinpebble/internal/tsp", // mirrored path: in scope
-		"ctxloopout",              // not a search package: ignored
+		"joinpebble/internal/tsp",   // mirrored path: in scope
+		"joinpebble/internal/graph", // claw-scan kernel scope
+		"ctxloopout",                // not a search package: ignored
 	)
 }

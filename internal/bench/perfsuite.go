@@ -81,6 +81,58 @@ func costRatio(s solver.Solver, g *graph.Graph) float64 {
 	return float64(cost) / float64(g.M())
 }
 
+// SmokeSuite returns reduced-size kernel benchmarks for CI smoke runs:
+// the bitset claw scan (sequential and parallel) and the arena-backed
+// approx-1.25 at a fraction of the pinned workload sizes. Series names
+// carry a smoke- prefix so they never match — and never stand in for —
+// the pinned regression series; the point is catching kernel rot
+// (panics, wrong answers, fallback misfires) in seconds, not timing.
+func SmokeSuite() []PerfCase {
+	spider := family.Spider(200).Graph()  // m = 400
+	spiderP := family.Spider(300).Graph() // m = 600: line graph n >= parallel floor
+	return []PerfCase{
+		{
+			Name: "smoke-clawfree-linegraph/spider-200-m400",
+			Run: func(b *testing.B) {
+				scratch := graph.NewClawScratch()
+				for i := 0; i < b.N; i++ {
+					if !graph.ClawFreeLineGraphScratch(spider.Clone(), scratch) {
+						b.Fatal("spider line graph must be claw-free")
+					}
+				}
+			},
+		},
+		{
+			Name: "smoke-clawfree-parallel/spider-300-m600",
+			Run: func(b *testing.B) {
+				prev := solver.Parallelism
+				solver.Parallelism = 4 // engage the parallel claw scan
+				defer func() { solver.Parallelism = prev }()
+				scratch := graph.NewClawScratch()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if !graph.ClawFreeLineGraphScratch(spiderP.Clone(), scratch) {
+						b.Fatal("spider line graph must be claw-free")
+					}
+				}
+			},
+		},
+		{
+			Name: "smoke-approx125/spider-200-m400",
+			Run: func(b *testing.B) {
+				s, restore := solveArm(false)
+				defer restore()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Solve(spider.Clone()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+}
+
 // PerfSuite returns the pinned benchmark cases for one arm.
 func PerfSuite(legacy bool) []PerfCase {
 	spider := family.Spider(1000).Graph() // m = 2000, claw-free line graph
@@ -137,14 +189,21 @@ func PerfSuite(legacy bool) []PerfCase {
 		{
 			Name: "clawfree-linegraph/spider-1000-m2000",
 			Run: func(b *testing.B) {
+				// The legacy arm pins the scalar HasEdge-probe kernel over a
+				// materialized map-backed line graph; the new arm runs the
+				// bitset kernel over the implicit view with scratch reused
+				// across scans, as the solver ladder does.
+				scratch := graph.NewClawScratch()
 				for i := 0; i < b.N; i++ {
 					g := spider.Clone()
 					var free bool
 					if legacy {
-						_, _, claw := graph.FindClaw(graph.LineGraphReference(g))
+						lg := graph.LineGraphReference(g)
+						lg.Freeze()
+						_, _, claw := graph.FindClawScalar(lg, nil)
 						free = !claw
 					} else {
-						free = graph.ClawFreeLineGraph(g)
+						free = graph.ClawFreeLineGraphScratch(g, scratch)
 					}
 					if !free {
 						b.Fatal("spider line graph must be claw-free")

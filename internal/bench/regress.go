@@ -45,7 +45,11 @@ type Report struct {
 	// (map-backed line graphs, unfrozen lookups, sequential solving).
 	// Legacy reports are never auto-picked as baselines; they exist as the
 	// "before" arm of a before/after pair.
-	Legacy bool     `json:"legacy,omitempty"`
+	Legacy bool `json:"legacy,omitempty"`
+	// Smoke marks a reduced-size kernel smoke run (cmd/bench -smoke).
+	// Smoke reports use distinct series names and are never auto-picked
+	// as baselines.
+	Smoke  bool     `json:"smoke,omitempty"`
 	Series []Series `json:"series"`
 	// Metrics is the instrumentation snapshot taken after the suite ran —
 	// counters like pebble acquisitions and claw checks alongside the
@@ -97,7 +101,8 @@ func LoadReport(path string) (*Report, error) {
 	return &r, nil
 }
 
-// LatestReport finds the most recent non-legacy BENCH_*.json in dir,
+// LatestReport finds the most recent non-legacy, non-smoke BENCH_*.json
+// in dir,
 // excluding the file named skip (the report about to be written). File
 // names sort chronologically because the date is zero-padded ISO. It
 // returns ("", nil, nil) when no prior report exists — the first run of a
@@ -116,7 +121,7 @@ func LatestReport(dir, skip string) (string, *Report, error) {
 		if err != nil {
 			return "", nil, err
 		}
-		if r.Legacy {
+		if r.Legacy || r.Smoke {
 			continue
 		}
 		return path, r, nil
@@ -132,9 +137,21 @@ type Delta struct {
 	Ratio float64 // cur ns / base ns; > 1 means slower
 }
 
+// noiseFloorNs is the absolute slowdown a series must show, on top of
+// the ratio tolerance, before it counts as a regression. Sub-10ns
+// series (a disarmed fault-site Fire, a frozen HasEdge probe) swing
+// ±30% with host CPU frequency alone; a pure ratio gate on a 0.6ns
+// measurement detects the machine's mood, not the code. Algorithmic
+// regressions on series that fast still surface through their callers
+// (every solver and scan series runs these ops millions of times).
+const noiseFloorNs = 5.0
+
 // Regressed reports whether the series slowed down beyond tolerance
-// (e.g. tolerance 1.30 allows up to +30% before failing).
-func (d Delta) Regressed(tolerance float64) bool { return d.Ratio > tolerance }
+// (e.g. tolerance 1.30 allows up to +30% before failing) by more than
+// the absolute noise floor.
+func (d Delta) Regressed(tolerance float64) bool {
+	return d.Ratio > tolerance && d.Cur.NsPerOp-d.Base.NsPerOp > noiseFloorNs
+}
 
 // Comparison is the outcome of diffing a current report against a base.
 type Comparison struct {

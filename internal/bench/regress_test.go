@@ -109,6 +109,12 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	if len(c.Regressions(1.60)) != 0 {
 		t.Fatal("tolerance 1.60 should absorb a +50% slowdown")
 	}
+	// Sub-noise-floor absolute deltas never regress, whatever the ratio:
+	// a 0.6 -> 0.9 ns swing is host frequency, not code.
+	nano := Compare(sampleReport("2026-01-01", false, 0.6), sampleReport("2026-01-02", false, 0.9))
+	if reg := nano.Regressions(1.30); len(reg) != 0 {
+		t.Fatalf("sub-floor delta flagged as regression: %+v", reg)
+	}
 	if len(c.Gone) != 1 || c.Gone[0] != "c/three" {
 		t.Fatalf("Gone = %v, want [c/three]", c.Gone)
 	}

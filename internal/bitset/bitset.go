@@ -1,0 +1,152 @@
+package bitset
+
+import "math/bits"
+
+// Bitset is a dense bitset over a fixed universe 0..n-1, stored as
+// uint64 words. It is the word-parallel primitive behind the claw-scan
+// kernel (internal/graph): the "three pairwise non-adjacent neighbors"
+// test of Theorem 3.1's precondition becomes a chain of AndNot
+// intersections over adjacency rows instead of per-pair binary searches.
+//
+// A Bitset is just its word slice: callers that know the word layout
+// (bit i lives in word i>>6 at position i&63) may index it directly.
+// All binary operations require operands of equal word length; they
+// write into the receiver so hot loops never allocate.
+type Bitset []uint64
+
+// words returns the number of words needed for n bits.
+func words(n int) int { return (n + 63) >> 6 }
+
+// New returns a zeroed bitset able to hold bits 0..n-1.
+func New(n int) Bitset {
+	if n < 0 {
+		panic("bitset: negative bitset size")
+	}
+	return make(Bitset, words(n))
+}
+
+// Set sets bit i.
+//
+//joinpebble:hotpath
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+//
+//joinpebble:hotpath
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Test reports whether bit i is set.
+//
+//joinpebble:hotpath
+func (b Bitset) Test(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// ClearAll zeroes every word.
+//
+//joinpebble:hotpath
+func (b Bitset) ClearAll() {
+	for w := range b {
+		b[w] = 0
+	}
+}
+
+// Copy overwrites b with src. The lengths must match.
+//
+//joinpebble:hotpath
+func (b Bitset) Copy(src Bitset) {
+	for w := range b {
+		b[w] = src[w]
+	}
+}
+
+// And sets b = x & y. The lengths must match.
+//
+//joinpebble:hotpath
+func (b Bitset) And(x, y Bitset) {
+	for w := range b {
+		b[w] = x[w] & y[w]
+	}
+}
+
+// AndNot sets b = x &^ y — the complement intersection the claw kernel
+// runs per neighbor: "in x but not adjacent per row y". The lengths must
+// match.
+//
+//joinpebble:hotpath
+func (b Bitset) AndNot(x, y Bitset) {
+	for w := range b {
+		b[w] = x[w] &^ y[w]
+	}
+}
+
+// Or sets b = x | y. The lengths must match.
+//
+//joinpebble:hotpath
+func (b Bitset) Or(x, y Bitset) {
+	for w := range b {
+		b[w] = x[w] | y[w]
+	}
+}
+
+// ClearThrough clears bits 0..i inclusive — the "only candidates above
+// the current neighbor" restriction of the claw kernel's ordered triple
+// enumeration.
+//
+//joinpebble:hotpath
+func (b Bitset) ClearThrough(i int) {
+	wi := i >> 6
+	for w := 0; w < wi && w < len(b); w++ {
+		b[w] = 0
+	}
+	if wi < len(b) {
+		b[wi] &^= ^uint64(0) >> uint(63-i&63)
+	}
+}
+
+// Count returns the number of set bits (population count).
+//
+//joinpebble:hotpath
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+//
+//joinpebble:hotpath
+func (b Bitset) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSet returns the lowest set bit >= from, or -1 if none. Iterating
+// a bitset is `for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1)`.
+//
+//joinpebble:hotpath
+func (b Bitset) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	wi := from >> 6
+	if wi >= len(b) {
+		return -1
+	}
+	// Mask off bits below `from` in its own word, then walk whole words.
+	w := b[wi] &^ ((1 << uint(from&63)) - 1)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(b) {
+			return -1
+		}
+		w = b[wi]
+	}
+}

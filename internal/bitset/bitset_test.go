@@ -1,0 +1,136 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := New(200)
+	if got := len(b); got != 4 {
+		t.Fatalf("200 bits should need 4 words, got %d", got)
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Test(i) {
+			t.Fatalf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("Set(%d) did not stick", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != 7 {
+		t.Fatalf("Clear(64) failed: test=%v count=%d", b.Test(64), b.Count())
+	}
+	if !b.Any() {
+		t.Fatal("Any should be true")
+	}
+	b.ClearAll()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("ClearAll left bits set")
+	}
+}
+
+func TestBitsetNextSet(t *testing.T) {
+	b := New(300)
+	want := []int{3, 63, 64, 130, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	if b.NextSet(300) != -1 {
+		t.Fatal("NextSet past the end should be -1")
+	}
+	if b.NextSet(-5) != 3 {
+		t.Fatal("NextSet clamps negative from to 0")
+	}
+	if b.NextSet(131) != 299 {
+		t.Fatalf("NextSet(131) = %d, want 299", b.NextSet(131))
+	}
+}
+
+func TestBitsetWordOps(t *testing.T) {
+	const n = 500
+	rng := rand.New(rand.NewSource(11))
+	x, y := New(n), New(n)
+	xm, ym := map[int]bool{}, map[int]bool{}
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			x.Set(i)
+			xm[i] = true
+		}
+		if rng.Intn(3) == 0 {
+			y.Set(i)
+			ym[i] = true
+		}
+	}
+	check := func(name string, got Bitset, pred func(i int) bool) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if got.Test(i) != pred(i) {
+				t.Fatalf("%s: bit %d = %v, want %v", name, i, got.Test(i), pred(i))
+			}
+		}
+	}
+	dst := New(n)
+	dst.And(x, y)
+	check("And", dst, func(i int) bool { return xm[i] && ym[i] })
+	dst.AndNot(x, y)
+	check("AndNot", dst, func(i int) bool { return xm[i] && !ym[i] })
+	dst.Or(x, y)
+	check("Or", dst, func(i int) bool { return xm[i] || ym[i] })
+	dst.Copy(x)
+	check("Copy", dst, func(i int) bool { return xm[i] })
+	if dst.Count() != len(xm) {
+		t.Fatalf("Count = %d, want %d", dst.Count(), len(xm))
+	}
+}
+
+func TestBitsetZeroSize(t *testing.T) {
+	b := New(0)
+	if b.Any() || b.Count() != 0 || b.NextSet(0) != -1 {
+		t.Fatal("empty bitset misbehaves")
+	}
+	b.ClearAll() // must not panic
+}
+
+func TestBitsetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestBitsetClearThrough(t *testing.T) {
+	const n = 260
+	for _, thr := range []int{0, 1, 62, 63, 64, 65, 127, 128, 200, 259} {
+		b := New(n)
+		for i := 0; i < n; i++ {
+			b.Set(i)
+		}
+		b.ClearThrough(thr)
+		for i := 0; i < n; i++ {
+			want := i > thr
+			if b.Test(i) != want {
+				t.Fatalf("ClearThrough(%d): bit %d = %v, want %v", thr, i, b.Test(i), want)
+			}
+		}
+	}
+}

@@ -2,7 +2,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 )
 
 // csr is the compact adjacency representation behind Freeze: flat
@@ -55,33 +56,48 @@ func buildCSR(n int, edges []Edge) *csr {
 }
 
 // sortSpan sorts verts ascending, permuting edges in lockstep. Spans are
-// neighbor lists, so small ones dominate; insertion sort covers those
-// without the interface overhead of the generic sort.
+// neighbor lists, so small ones dominate; insertion sort covers those.
+// Long spans pack vert<<32|edge into the vert slots and run the generic
+// slices.Sort over plain ints in place — no spanSorter interface boxing,
+// no scratch allocation. The packed key is unambiguous because a span
+// never repeats a neighbor (simple graph), and the low edge bits ride
+// along for free. Packing needs both ids to fit 32 bits; the (never
+// taken in practice) fallback is the same insertion sort.
 func sortSpan(verts, edges []int) {
-	if len(verts) <= 24 {
-		for i := 1; i < len(verts); i++ {
-			v, e := verts[i], edges[i]
-			j := i - 1
-			for j >= 0 && verts[j] > v {
-				verts[j+1], edges[j+1] = verts[j], edges[j]
-				j--
-			}
-			verts[j+1], edges[j+1] = v, e
+	if len(verts) > 24 && packable(verts, edges) {
+		for i := range verts {
+			verts[i] = int(uint64(verts[i])<<32 | uint64(edges[i]))
+		}
+		slices.Sort(verts)
+		for i := range verts {
+			edges[i] = int(uint64(verts[i]) & 0xFFFFFFFF)
+			verts[i] >>= 32
 		}
 		return
 	}
-	sort.Sort(&spanSorter{verts, edges})
+	for i := 1; i < len(verts); i++ {
+		v, e := verts[i], edges[i]
+		j := i - 1
+		for j >= 0 && verts[j] > v {
+			verts[j+1], edges[j+1] = verts[j], edges[j]
+			j--
+		}
+		verts[j+1], edges[j+1] = v, e
+	}
 }
 
-type spanSorter struct {
-	verts, edges []int
-}
-
-func (s *spanSorter) Len() int           { return len(s.verts) }
-func (s *spanSorter) Less(i, j int) bool { return s.verts[i] < s.verts[j] }
-func (s *spanSorter) Swap(i, j int) {
-	s.verts[i], s.verts[j] = s.verts[j], s.verts[i]
-	s.edges[i], s.edges[j] = s.edges[j], s.edges[i]
+// packable reports whether every (vert, edge) pair fits the 32/32 packing
+// sortSpan uses, which also requires a 64-bit int.
+func packable(verts, edges []int) bool {
+	if bits.UintSize != 64 {
+		return false
+	}
+	for i := range verts {
+		if uint64(verts[i]) >= 1<<31 || uint64(edges[i]) >= 1<<32 {
+			return false
+		}
+	}
+	return true
 }
 
 // lookup returns the edge index of {u,v} by binary search over the sorted

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"context"
+
 	"joinpebble/internal/obs"
 )
 
@@ -115,8 +117,17 @@ var (
 
 // FindClawIn is FindClaw over any Adjacency — in particular a
 // LineGraphView, which lets claw checks walk L(G) without materializing
-// it.
+// it. It allocates fresh scan scratch; callers running repeated scans
+// should hold a ClawScratch and use FindClawInScratch.
 func FindClawIn(a Adjacency) (center int, leaves [3]int, ok bool) {
+	return FindClawInScratch(a, nil)
+}
+
+// FindClawInScratch is FindClawIn with caller-owned scratch: the bitset
+// adjacency rows, masks, and neighbor buffers live in s and are reused
+// across scans instead of growing fresh slices per call. s may be nil
+// (allocate per scan) and must not be shared between concurrent scans.
+func FindClawInScratch(a Adjacency, s *ClawScratch) (center int, leaves [3]int, ok bool) {
 	start := obs.Now()
 	defer func() {
 		tClawDetection.Observe(obs.Since(start))
@@ -125,37 +136,15 @@ func FindClawIn(a Adjacency) (center int, leaves [3]int, ok bool) {
 			cClawsFound.Inc()
 		}
 	}()
-	return clawScan(a, nil)
-}
-
-// clawScan is the kernel of FindClawIn: for every vertex of degree at
-// least 3 it tests neighbor triples for pairwise non-adjacency. nb is
-// neighbor scratch reused across vertices (nil is fine — the callee's
-// first AppendNeighbors sizes it); the scan itself performs no
-// allocating construct, so the O(n·Δ³) adjacency-test loop costs only
-// the HasEdge probes.
-//
-//joinpebble:hotpath
-func clawScan(a Adjacency, nb []int) (center int, leaves [3]int, ok bool) {
-	for v := 0; v < a.N(); v++ {
-		if a.Degree(v) < 3 {
-			continue
-		}
-		nb = a.AppendNeighbors(nb[:0], v)
-		for i := 0; i < len(nb); i++ {
-			for j := i + 1; j < len(nb); j++ {
-				if a.HasEdge(nb[i], nb[j]) {
-					continue
-				}
-				for k := j + 1; k < len(nb); k++ {
-					if !a.HasEdge(nb[i], nb[k]) && !a.HasEdge(nb[j], nb[k]) {
-						return v, [3]int{nb[i], nb[j], nb[k]}, true
-					}
-				}
-			}
-		}
+	var err error
+	center, leaves, ok, err = FindClawContext(context.Background(), a, s)
+	if err != nil {
+		// The background context cannot be canceled, so only an armed
+		// SiteClawScan fault reaches here; the context-free wrappers
+		// have no error path, and a silent "no claw" would be wrong.
+		panic(err)
 	}
-	return 0, [3]int{}, false
+	return center, leaves, ok
 }
 
 // ClawFree reports whether g contains no induced K_{1,3}.
@@ -167,7 +156,13 @@ func ClawFree(g *Graph) bool {
 // ClawFreeLineGraph reports whether L(g) is claw-free, walking the
 // implicit view instead of materializing the line graph.
 func ClawFreeLineGraph(g *Graph) bool {
-	_, _, ok := FindClawIn(NewLineGraphView(g))
+	return ClawFreeLineGraphScratch(g, nil)
+}
+
+// ClawFreeLineGraphScratch is ClawFreeLineGraph with caller-owned scan
+// scratch (see FindClawInScratch).
+func ClawFreeLineGraphScratch(g *Graph, s *ClawScratch) bool {
+	_, _, ok := FindClawInScratch(NewLineGraphView(g), s)
 	return !ok
 }
 

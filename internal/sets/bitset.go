@@ -1,0 +1,14 @@
+package sets
+
+import "joinpebble/internal/bitset"
+
+// Bitset is the dense uint64-word bitset primitive. The implementation
+// lives in internal/bitset — a leaf package with no joinpebble imports —
+// so that internal/graph's claw-scan kernel can use it without creating
+// an import cycle through this package (sets depends on graph for the
+// Lemma 3.3 universality construction). The alias keeps the primitive
+// available alongside the sorted-set type for set-family call sites.
+type Bitset = bitset.Bitset
+
+// NewBitset returns a zeroed Bitset able to hold bits 0..n-1.
+func NewBitset(n int) Bitset { return bitset.New(n) }

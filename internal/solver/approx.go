@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"joinpebble/internal/bitset"
 	"joinpebble/internal/core"
 	"joinpebble/internal/graph"
 	"joinpebble/internal/obs"
@@ -123,34 +124,38 @@ func approxComponentOrder(cg *graph.Graph, sp *obs.Span, skipTwins, materialize 
 
 // pathPartition splits the vertices of a connected claw-free graph lg
 // into vertex-disjoint paths, all of size >= 4 except possibly the last.
+//
+// All working state — parent links, child arrays, subtree sizes, the
+// alive set, DFS frames, and neighbor scratch — lives in one
+// approxArena allocated here and reused across every spanning-tree
+// rebuild, so the ~m/4 strip iterations allocate only the output
+// pieces themselves.
 func pathPartition(lg graph.Adjacency, skipTwins bool) ([][]int, error) {
-	alive := make([]bool, lg.N())
-	aliveCount := lg.N()
-	var root int
-	for v := range alive {
-		alive[v] = true
+	n := lg.N()
+	ar := newApproxArena(n)
+	aliveCount := n
+	for v := 0; v < n; v++ {
+		ar.alive.Set(v)
 	}
+	t := spanningTree{lg: lg, ar: ar}
 	var pieces [][]int
-	var arena []int // reused neighbor scratch across tree rebuilds
 	for aliveCount > 0 {
-		// Locate any alive vertex to root the DFS.
-		root = -1
-		for v := 0; v < lg.N(); v++ {
-			if alive[v] {
-				root = v
-				break
-			}
+		// Root the DFS at the lowest alive vertex.
+		root := ar.alive.NextSet(0)
+		if root < 0 {
+			return nil, fmt.Errorf("solver: alive count %d but no alive vertex", aliveCount)
 		}
 		if aliveCount < 4 {
-			path, ok := hamPathSmall(lg, alive, aliveCount, root)
+			path, ok := hamPathSmall(lg, ar.alive, aliveCount, root)
 			if !ok {
 				return nil, fmt.Errorf("solver: connected remainder of size %d has no Hamiltonian path", aliveCount)
 			}
 			pieces = append(pieces, path)
 			break
 		}
-		var t *spanningTree
-		t, arena = newSpanningTree(lg, alive, root, arena)
+		if err := t.rebuild(root); err != nil {
+			return nil, err
+		}
 		if !skipTwins {
 			if err := t.eliminateTwins(); err != nil {
 				return nil, err
@@ -162,7 +167,7 @@ func pathPartition(lg graph.Adjacency, skipTwins bool) ([][]int, error) {
 			return nil, err
 		}
 		for _, v := range path {
-			alive[v] = false
+			ar.alive.Clear(v)
 			aliveCount--
 		}
 		pieces = append(pieces, path)
@@ -170,71 +175,129 @@ func pathPartition(lg graph.Adjacency, skipTwins bool) ([][]int, error) {
 	return pieces, nil
 }
 
-// spanningTree is a rooted spanning tree over the alive vertices of lg,
-// mutable by the twin-elimination re-hanging.
-type spanningTree struct {
-	lg       graph.Adjacency
-	root     int
-	parent   []int   // -1 root, -2 not in tree
-	children [][]int // child lists
+// dfsFrame is one spanning-tree DFS stack entry: vertex v with its
+// neighbor span [base, end) in the arena's nb scratch, next being the
+// scan cursor within the span.
+type dfsFrame struct{ v, base, end, next int }
+
+// approxArena is the per-component scratch for pathPartition. Every
+// slice is sized to the component's line-graph order n once and reused
+// across all spanning-tree rebuilds, twin eliminations, and subtree-size
+// passes of that component; nothing in it escapes a partition call.
+//
+// Child lists exploit the claw-free DFS-tree invariant that no node ever
+// has more than two children (three children are pairwise non-adjacent
+// in a DFS tree and would form a claw with their parent; twin
+// elimination's re-hangings only move children to leaves, preserving the
+// bound), so they are fixed [2]int32 slots plus a fill count instead of
+// per-node slices.
+type approxArena struct {
+	parent []int      // -1 root, -2 not in tree
+	kids   [][2]int32 // child slots, in insertion order
+	nkid   []uint8    // filled child slots per node
+	size   []int      // subtree sizes, valid after subtreeSizes
+	order  []int      // preorder scratch for subtreeSizes
+	stack  []dfsFrame // DFS frames for rebuild
+	alive  bitset.Bitset
+	nb     []int // DFS neighbor scratch, stack-disciplined spans
 }
 
-// newSpanningTree runs DFS over alive vertices from root. Neighborhoods
-// are enumerated through the Adjacency interface into an arena that
-// follows the DFS stack discipline (a frame's span is truncated on pop),
-// so walking an implicit line-graph view allocates no per-frame slices.
-// The arena is returned for reuse by the next rebuild.
-func newSpanningTree(lg graph.Adjacency, alive []bool, root int, arena []int) (*spanningTree, []int) {
-	t := &spanningTree{
-		lg:       lg,
-		root:     root,
-		parent:   make([]int, lg.N()),
-		children: make([][]int, lg.N()),
+func newApproxArena(n int) *approxArena {
+	return &approxArena{
+		parent: make([]int, n),
+		kids:   make([][2]int32, n),
+		nkid:   make([]uint8, n),
+		size:   make([]int, n),
+		order:  make([]int, n),
+		stack:  make([]dfsFrame, n),
+		alive:  bitset.New(n),
 	}
-	for i := range t.parent {
-		t.parent[i] = -2
+}
+
+// spanningTree is a rooted spanning tree over the alive vertices of lg,
+// stored in the arena and mutable by the twin-elimination re-hanging.
+type spanningTree struct {
+	lg   graph.Adjacency
+	root int
+	ar   *approxArena
+}
+
+// rebuild runs DFS over the arena's alive vertices from root, replacing
+// the previous tree. Neighborhoods are enumerated through the Adjacency
+// interface into the arena's nb scratch, which follows the DFS stack
+// discipline (a frame's span is truncated on pop), so walking an
+// implicit line-graph view allocates no per-frame slices. The only
+// possible allocation is nb growth inside AppendNeighbors, which stops
+// once nb reaches the component's maximum stacked-neighborhood size.
+func (t *spanningTree) rebuild(root int) error {
+	ar := t.ar
+	t.root = root
+	for i := range ar.parent {
+		ar.parent[i] = -2
+		ar.nkid[i] = 0
 	}
-	t.parent[root] = -1
-	type frame struct{ v, base, end, next int }
-	arena = lg.AppendNeighbors(arena[:0], root)
-	stack := []frame{{v: root, base: 0, end: len(arena), next: 0}}
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
+	ar.parent[root] = -1
+	ar.nb = t.lg.AppendNeighbors(ar.nb[:0], root)
+	ar.stack[0] = dfsFrame{v: root, base: 0, end: len(ar.nb), next: 0}
+	sp := 1
+	for sp > 0 {
+		f := &ar.stack[sp-1]
 		advanced := false
 		for f.next < f.end {
-			w := arena[f.next]
+			w := ar.nb[f.next]
 			f.next++
-			if alive[w] && t.parent[w] == -2 {
-				t.parent[w] = f.v
-				t.children[f.v] = append(t.children[f.v], w)
-				base := len(arena)
-				arena = lg.AppendNeighbors(arena, w)
-				stack = append(stack, frame{v: w, base: base, end: len(arena), next: base})
+			if ar.alive.Test(w) && ar.parent[w] == -2 {
+				ar.parent[w] = f.v
+				if !t.addChild(f.v, w) {
+					return fmt.Errorf("solver: node %d has > 2 children in claw-free DFS tree", f.v)
+				}
+				base := len(ar.nb)
+				ar.nb = t.lg.AppendNeighbors(ar.nb, w)
+				ar.stack[sp] = dfsFrame{v: w, base: base, end: len(ar.nb), next: base}
+				sp++
 				advanced = true
 				break
 			}
 		}
 		if !advanced {
-			arena = arena[:f.base]
-			stack = stack[:len(stack)-1]
+			ar.nb = ar.nb[:f.base]
+			sp--
 		}
 	}
-	return t, arena
+	return nil
 }
 
-func (t *spanningTree) inTree(v int) bool { return t.parent[v] != -2 }
-func (t *spanningTree) isLeaf(v int) bool { return t.inTree(v) && len(t.children[v]) == 0 }
+func (t *spanningTree) inTree(v int) bool { return t.ar.parent[v] != -2 }
+func (t *spanningTree) isLeaf(v int) bool { return t.inTree(v) && t.ar.nkid[v] == 0 }
 
-// removeChild detaches c from p's child list.
-func (t *spanningTree) removeChild(p, c int) {
-	ch := t.children[p]
-	for i, x := range ch {
-		if x == c {
-			t.children[p] = append(ch[:i], ch[i+1:]...)
-			return
-		}
+// addChild appends c to p's child slots, reporting false on overflow
+// (impossible while lg is claw-free — see approxArena).
+//
+//joinpebble:hotpath
+func (t *spanningTree) addChild(p, c int) bool {
+	ar := t.ar
+	if ar.nkid[p] >= 2 {
+		return false
 	}
-	panic("solver: removeChild: not a child")
+	ar.kids[p][ar.nkid[p]] = int32(c)
+	ar.nkid[p]++
+	return true
+}
+
+// removeChild detaches c from p's child slots, preserving slot order.
+//
+//joinpebble:hotpath
+func (t *spanningTree) removeChild(p, c int) {
+	ar := t.ar
+	switch {
+	case ar.nkid[p] >= 1 && ar.kids[p][0] == int32(c):
+		ar.kids[p][0] = ar.kids[p][1]
+		ar.nkid[p]--
+	case ar.nkid[p] == 2 && ar.kids[p][1] == int32(c):
+		ar.nkid[p]--
+	default:
+		panic("solver: removeChild: not a child")
+	}
 }
 
 // eliminateTwins repeatedly resolves pairs of leaf siblings. Each
@@ -249,12 +312,14 @@ func (t *spanningTree) eliminateTwins() error {
 		}
 		switch {
 		case t.lg.HasEdge(l1, l2):
-			// Chain the twins: p — l1 — l2.
+			// Chain the twins: p — l1 — l2. The addChild targets are a
+			// leaf (l1) and nodes that just lost a child, so the two-slot
+			// bound cannot overflow here or in the re-hang below.
 			t.removeChild(p, l2)
-			t.parent[l2] = l1
-			t.children[l1] = append(t.children[l1], l2)
+			t.ar.parent[l2] = l1
+			t.addChild(l1, l2)
 		default:
-			g := t.parent[p]
+			g := t.ar.parent[p]
 			if g < 0 {
 				// p is the root with two non-adjacent leaf children and at
 				// most two children total: the tree would have 3 vertices,
@@ -273,46 +338,67 @@ func (t *spanningTree) eliminateTwins() error {
 			// remove tree edge (g,p), add (g,l1)).
 			t.removeChild(g, p)
 			t.removeChild(p, l1)
-			t.parent[l1] = g
-			t.children[g] = append(t.children[g], l1)
-			t.parent[p] = l1
-			t.children[l1] = append(t.children[l1], p)
+			t.ar.parent[l1] = g
+			t.addChild(g, l1)
+			t.ar.parent[p] = l1
+			t.addChild(l1, p)
 		}
 	}
 }
 
-// findTwins returns a parent with two leaf children, if any.
+// findTwins returns a parent with two leaf children, if any. Children
+// are inspected in slot order, so the pair returned is the same pair the
+// child-list representation produced.
+//
+//joinpebble:hotpath
 func (t *spanningTree) findTwins() (p, l1, l2 int, found bool) {
-	for v := 0; v < len(t.parent); v++ {
-		if !t.inTree(v) {
+	ar := t.ar
+	for v := 0; v < len(ar.parent); v++ {
+		if ar.parent[v] == -2 {
 			continue
 		}
-		var leaves []int
-		for _, c := range t.children[v] {
-			if t.isLeaf(c) {
-				leaves = append(leaves, c)
+		first := -1
+		for c := 0; c < int(ar.nkid[v]); c++ {
+			w := int(ar.kids[v][c])
+			if ar.nkid[w] != 0 { // children are in the tree, so leaf ⇔ no kids
+				continue
 			}
-		}
-		if len(leaves) >= 2 {
-			return v, leaves[0], leaves[1], true
+			if first < 0 {
+				first = w
+			} else {
+				return v, first, w, true
+			}
 		}
 	}
 	return 0, 0, 0, false
 }
 
-// subtreeSizes computes subtree sizes over the current tree. The tree can
-// be deep (line graphs of paths), so it accumulates over an explicit
-// preorder instead of recursing.
+// subtreeSizes fills the arena's size table over the current tree and
+// returns it. The tree can be deep (line graphs of paths), so it
+// accumulates over an explicit preorder — written into the arena's
+// order scratch by index — instead of recursing.
+//
+//joinpebble:hotpath
 func (t *spanningTree) subtreeSizes() []int {
-	size := make([]int, len(t.parent))
-	order := []int{t.root}
-	for i := 0; i < len(order); i++ {
-		order = append(order, t.children[order[i]]...)
+	ar := t.ar
+	size := ar.size
+	for i := range size {
+		size[i] = 0
 	}
-	for i := len(order) - 1; i >= 0; i-- {
+	order := ar.order
+	order[0] = t.root
+	cnt := 1
+	for i := 0; i < cnt; i++ {
+		v := order[i]
+		for c := 0; c < int(ar.nkid[v]); c++ {
+			order[cnt] = int(ar.kids[v][c])
+			cnt++
+		}
+	}
+	for i := cnt - 1; i >= 0; i-- {
 		v := order[i]
 		size[v]++
-		if p := t.parent[v]; p >= 0 {
+		if p := ar.parent[v]; p >= 0 {
 			size[p] += size[v]
 		}
 	}
@@ -321,15 +407,20 @@ func (t *spanningTree) subtreeSizes() []int {
 
 // lowestBigSubtree returns a node with subtree size >= k all of whose
 // children have subtree size < k. The root always qualifies as a
-// fallback, so one exists whenever the tree has >= k vertices.
+// fallback, so one exists whenever the tree has >= k vertices. The size
+// table it computes stays valid in the arena until the next rebuild or
+// re-hang; subtreeAsPath reads it to size its output exactly.
+//
+//joinpebble:hotpath
 func (t *spanningTree) lowestBigSubtree(k int) int {
 	size := t.subtreeSizes()
+	ar := t.ar
 	v := t.root
 	for {
 		descended := false
-		for _, c := range t.children[v] {
-			if size[c] >= k {
-				v = c
+		for c := 0; c < int(ar.nkid[v]); c++ {
+			if w := int(ar.kids[v][c]); size[w] >= k {
+				v = w
 				descended = true
 				break
 			}
@@ -344,61 +435,56 @@ func (t *spanningTree) lowestBigSubtree(k int) int {
 // elimination is a path-shaped tree: r has at most two children and each
 // child subtree is a downward chain (a 3-node chain is the largest
 // possible, since r is the lowest node with >= 4 descendants). The
-// returned vertex sequence is a path in lg.
+// returned vertex sequence is a path in lg. It is the output of a strip,
+// so it is the one slice the partition loop allocates per iteration —
+// sized exactly from the arena's still-valid subtree-size table.
 func (t *spanningTree) subtreeAsPath(r int) ([]int, error) {
+	ar := t.ar
+	out := make([]int, 0, ar.size[r])
+	// chain walks the downward chain from start, appending to out; the
+	// exact capacity above means the appends never reallocate.
 	chain := func(start int) ([]int, error) {
-		var out []int
 		v := start
 		for {
 			out = append(out, v)
-			switch len(t.children[v]) {
+			switch ar.nkid[v] {
 			case 0:
 				return out, nil
 			case 1:
-				v = t.children[v][0]
+				v = int(ar.kids[v][0])
 			default:
 				return nil, fmt.Errorf("solver: child subtree at %d is not a chain", v)
 			}
 		}
 	}
-	switch len(t.children[r]) {
+	switch ar.nkid[r] {
 	case 0:
-		return []int{r}, nil
+		return append(out, r), nil
 	case 1:
-		down, err := chain(t.children[r][0])
-		if err != nil {
-			return nil, err
-		}
-		return append([]int{r}, down...), nil
-	case 2:
-		a, err := chain(t.children[r][0])
-		if err != nil {
-			return nil, err
-		}
-		b, err := chain(t.children[r][1])
+		out = append(out, r)
+		return chain(int(ar.kids[r][0]))
+	default:
+		var err error
+		out, err = chain(int(ar.kids[r][0]))
 		if err != nil {
 			return nil, err
 		}
 		// Reverse a, then r, then b: leaf_a ... child_a r child_b ... leaf_b.
-		out := make([]int, 0, len(a)+1+len(b))
-		for i := len(a) - 1; i >= 0; i-- {
-			out = append(out, a[i])
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
 		}
 		out = append(out, r)
-		out = append(out, b...)
-		return out, nil
-	default:
-		return nil, fmt.Errorf("solver: node %d has %d > 2 children in claw-free DFS tree", r, len(t.children[r]))
+		return chain(int(ar.kids[r][1]))
 	}
 }
 
 // hamPathSmall finds a Hamiltonian path over the <= 3 alive vertices
 // (any connected graph on at most 3 vertices has one), starting the
 // search at root's component.
-func hamPathSmall(lg graph.Adjacency, alive []bool, count, root int) ([]int, bool) {
+func hamPathSmall(lg graph.Adjacency, alive bitset.Bitset, count, root int) ([]int, bool) {
 	var verts []int
 	for v := 0; v < lg.N(); v++ {
-		if alive[v] {
+		if alive.Test(v) {
 			verts = append(verts, v)
 		}
 	}
