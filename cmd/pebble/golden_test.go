@@ -93,6 +93,65 @@ func normalizeMetrics(t *testing.T, raw []byte) []byte {
 	return buf.Bytes()
 }
 
+// normalizeTrace reduces a Chrome trace to its structure — span id,
+// parentage, track, name, and integer attributes. Timestamps and
+// durations vary per run; the span forest of a fixed sequential solve
+// does not.
+func normalizeTrace(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var doc obs.ChromeTrace
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace-out file is not chrome trace JSON: %v\n%s", err, raw)
+	}
+	var buf bytes.Buffer
+	for _, ev := range doc.TraceEvents {
+		fmt.Fprintf(&buf, "id=%d parent=%d tid=%d %s", ev.Args["id"], ev.Args["parent"], ev.Tid, ev.Name)
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			if k != "id" && k != "parent" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&buf, " %s=%d", k, ev.Args[k])
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceOut pins the span forest a fixed solve emits through
+// -trace-out: one Chrome trace per solve scope plus the flight recorder
+// dump, with stable structure across runs.
+func TestGoldenTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	if out, err := exec.Command(pebbleBin, "-solver", "exact", "-trace-out", dir, "testdata/spider3.txt").CombinedOutput(); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "scope-*.trace.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("scope traces = %v (err %v), want exactly one", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_spider", normalizeTrace(t, raw))
+
+	frRaw, err := os.ReadFile(filepath.Join(dir, "flightrecorder.json"))
+	if err != nil {
+		t.Fatalf("flight recorder dump missing: %v", err)
+	}
+	var snap obs.FlightRecorderSnapshot
+	if err := json.Unmarshal(frRaw, &snap); err != nil {
+		t.Fatalf("flightrecorder.json is not a snapshot: %v", err)
+	}
+	if snap.Total != 1 || len(snap.Recent) != 1 || snap.Recent[0].Name != "engine/solve" {
+		t.Fatalf("flight recorder = %+v, want the one solve", snap)
+	}
+}
+
 func TestGoldenSolveSpider(t *testing.T) {
 	out, err := exec.Command(pebbleBin, "-solver", "exact", "-scheme", "testdata/spider3.txt").Output()
 	if err != nil {

@@ -48,19 +48,30 @@ var (
 
 const obsPath = "joinpebble/internal/obs"
 
-// nameSink describes one obs entry point taking a name in arg 0.
+// nameSink describes one obs entry point taking a name in arg position
+// arg (StartSpanCtx takes its context first, so its name is arg 1).
 type nameSink struct {
 	recv, name string
 	kind       string // "counter", "histogram", "timer", "span"
+	arg        int
 }
 
 var sinks = []nameSink{
-	{"Registry", "Counter", "counter"},
-	{"Registry", "Histogram", "histogram"},
-	{"Registry", "Timer", "timer"},
-	{"Tracer", "Start", "span"},
-	{"Span", "Start", "span"},
-	{"", "StartSpan", "span"},
+	{"Registry", "Counter", "counter", 0},
+	{"Registry", "Histogram", "histogram", 0},
+	{"Registry", "Timer", "timer", 0},
+	{"Tracer", "Start", "span", 0},
+	{"Span", "Start", "span", 0},
+	{"", "StartSpan", "span", 0},
+	// The scope surface: scope-aware metric forwarders register their
+	// (global) names at var-decl time, scope names double as span-style
+	// identifiers, and context spans take the name after the ctx.
+	{"", "ScopedCounter", "counter", 0},
+	{"", "ScopedTimer", "timer", 0},
+	{"", "ScopedHistogram", "histogram", 0},
+	{"", "NewScope", "span", 0},
+	{"", "StartSpanCtx", "span", 1},
+	{"Scope", "StartSpan", "span", 0},
 }
 
 func sinkFor(fn *types.Func) (nameSink, bool) {
@@ -98,8 +109,8 @@ func run(pass *analysis.Pass) error {
 	var defs []metricDef
 	forwarders := map[*types.Func]forwarder{}
 
-	validate := func(call *ast.CallExpr, kind string) {
-		name, ok := analysis.ConstString(info, call.Args[0])
+	validate := func(arg ast.Expr, kind string) {
+		name, ok := analysis.ConstString(info, arg)
 		if !ok {
 			return // classified by the caller
 		}
@@ -108,11 +119,11 @@ func run(pass *analysis.Pass) error {
 			re = SpanNameRE
 		}
 		if !re.MatchString(name) {
-			pass.Reportf(call.Args[0].Pos(), "obs %s name %q must match %s", kind, name, re)
+			pass.Reportf(arg.Pos(), "obs %s name %q must match %s", kind, name, re)
 			return
 		}
 		if kind != "span" {
-			defs = append(defs, metricDef{Name: name, Kind: kind, Pos: call.Args[0].Pos()})
+			defs = append(defs, metricDef{Name: name, Kind: kind, Pos: arg.Pos()})
 		}
 	}
 
@@ -127,12 +138,12 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			sink, ok := sinkFor(analysis.CalleeFunc(info, call))
-			if !ok || len(call.Args) < 1 {
+			if !ok || len(call.Args) <= sink.arg {
 				return true
 			}
-			arg := ast.Unparen(call.Args[0])
+			arg := ast.Unparen(call.Args[sink.arg])
 			if _, isConst := analysis.ConstString(info, arg); isConst {
-				validate(call, sink.kind)
+				validate(arg, sink.kind)
 				return true
 			}
 			if fn, idx := enclosingParam(info, stack, arg); fn != nil {
@@ -163,9 +174,7 @@ func run(pass *analysis.Pass) error {
 					pass.Reportf(arg.Pos(), "obs %s name passed to %s must be a compile-time constant string (names propagate one call level, no further)", fwd.kind, fn.Name())
 					return true
 				}
-				shim := *call
-				shim.Args = []ast.Expr{arg}
-				validate(&shim, fwd.kind)
+				validate(arg, fwd.kind)
 				return true
 			})
 		}

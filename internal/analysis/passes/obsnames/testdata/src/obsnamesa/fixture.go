@@ -2,7 +2,11 @@
 // half of a cross-package duplicate.
 package obsnamesa
 
-import "joinpebble/internal/obs"
+import (
+	"context"
+
+	"joinpebble/internal/obs"
+)
 
 const goodName = "fixture/a/ops"
 
@@ -36,4 +40,32 @@ func forwardTwice(name string) {
 
 func timers() *obs.Timer {
 	return obs.Default.Timer("fixture/a/latency")
+}
+
+// The scope-aware surface: forwarder vars register global names at
+// declaration, scope and context spans follow the span grammar.
+var (
+	cScoped   = obs.ScopedCounter("fixture/a/scoped_ops")
+	cScopedNo = obs.ScopedCounter("Scoped.Ops") // want `obs counter name "Scoped\.Ops" must match`
+	tScoped   = obs.ScopedTimer("fixture/a/scoped_latency")
+	hScoped   = obs.ScopedHistogram("fixture/a/scoped_sizes", obs.Pow2Buckets(8))
+)
+
+func scopedDynamic(alg string) *obs.CounterVar {
+	return obs.ScopedCounter("fixture/" + alg + "/ops") // want `obs counter name must be a compile-time constant string`
+}
+
+func useScopes(ctx context.Context) {
+	sc := obs.NewScope("fixture/solve")
+	bad := obs.NewScope("Fixture Solve") // want `obs span name "Fixture Solve" must match`
+	bad.Close()
+	sp := obs.StartSpanCtx(ctx, "fixture/ctx_span")
+	sp.End()
+	worse := obs.StartSpanCtx(ctx, "Fixture Ctx Span") // want `obs span name "Fixture Ctx Span" must match`
+	worse.End()
+	child := sc.StartSpan("fixture/child")
+	child.End()
+	ugly := sc.StartSpan("Fixture Child") // want `obs span name "Fixture Child" must match`
+	ugly.End()
+	sc.Close()
 }

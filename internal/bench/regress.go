@@ -146,6 +146,11 @@ type Delta struct {
 // (every solver and scan series runs these ops millions of times).
 const noiseFloorNs = 5.0
 
+// NoiseFloorNs exports the comparator's absolute noise floor so other
+// diff tools (cmd/obsreport) apply the identical significance rule
+// instead of inventing a second definition of "regressed".
+const NoiseFloorNs = noiseFloorNs
+
 // Regressed reports whether the series slowed down beyond tolerance
 // (e.g. tolerance 1.30 allows up to +30% before failing) by more than
 // the absolute noise floor.

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"joinpebble/internal/graph"
@@ -24,13 +25,16 @@ import (
 // loop stays counter-free): acquisitions are the π̂ moves that put a
 // pebble on a vertex — the paper's central cost — and releases are the
 // moves that vacated one (every move after the two initial placements).
+// The bindings are scope-aware (obs.Scope): callers that thread a scoped
+// context through SimulateContext/VerifyContext account the run to their
+// request; the plain Simulate/Verify record globally as before.
 var (
-	cSimulateRuns   = obs.Default.Counter("core/simulate/runs")
-	cSimulateConfig = obs.Default.Counter("core/simulate/configs")
-	cSimulateWasted = obs.Default.Counter("core/simulate/wasted_configs")
-	cEdgesDeleted   = obs.Default.Counter("core/simulate/edges_deleted")
-	cPebbleAcquire  = obs.Default.Counter("core/pebble/acquisitions")
-	cPebbleRelease  = obs.Default.Counter("core/pebble/releases")
+	cSimulateRuns   = obs.ScopedCounter("core/simulate/runs")
+	cSimulateConfig = obs.ScopedCounter("core/simulate/configs")
+	cSimulateWasted = obs.ScopedCounter("core/simulate/wasted_configs")
+	cEdgesDeleted   = obs.ScopedCounter("core/simulate/edges_deleted")
+	cPebbleAcquire  = obs.ScopedCounter("core/pebble/acquisitions")
+	cPebbleRelease  = obs.ScopedCounter("core/pebble/releases")
 )
 
 // Config is a pebbling configuration: the positions of the two pebbles.
@@ -106,6 +110,14 @@ func (r *Result) Complete() bool { return r.DeletedCount == len(r.Deleted) }
 // instead of a map lookup, so callers simulating long schemes should
 // freeze the graph first.
 func Simulate(g *graph.Graph, s Scheme) (*Result, error) {
+	return SimulateContext(context.Background(), g, s)
+}
+
+// SimulateContext is Simulate with request-scoped accounting: the flush
+// lands in the obs.Scope carried by ctx, if any. The simulation itself
+// is not interruptible — it is a linear referee pass, fast relative to
+// the searches that produce schemes.
+func SimulateContext(ctx context.Context, g *graph.Graph, s Scheme) (*Result, error) {
 	res := &Result{
 		Deleted:   make([]bool, g.M()),
 		EdgeOrder: make([]int, 0, g.M()),
@@ -127,13 +139,13 @@ func Simulate(g *graph.Graph, s Scheme) (*Result, error) {
 			res.WastedConfigs++
 		}
 	}
-	cSimulateRuns.Inc()
-	cSimulateConfig.Add(int64(len(s)))
-	cSimulateWasted.Add(int64(res.WastedConfigs))
-	cEdgesDeleted.Add(int64(res.DeletedCount))
+	cSimulateRuns.Inc(ctx)
+	cSimulateConfig.Add(ctx, int64(len(s)))
+	cSimulateWasted.Add(ctx, int64(res.WastedConfigs))
+	cEdgesDeleted.Add(ctx, int64(res.DeletedCount))
 	if cost := s.Cost(); cost > 0 {
-		cPebbleAcquire.Add(int64(cost))
-		cPebbleRelease.Add(int64(cost - 2))
+		cPebbleAcquire.Add(ctx, int64(cost))
+		cPebbleRelease.Add(ctx, int64(cost-2))
 	}
 	return res, nil
 }
@@ -142,7 +154,13 @@ func Simulate(g *graph.Graph, s Scheme) (*Result, error) {
 // returns its cost π̂. It is the referee used by tests and benchmarks: a
 // solver's claimed cost must match what simulation observes.
 func Verify(g *graph.Graph, s Scheme) (int, error) {
-	res, err := Simulate(g, s)
+	return VerifyContext(context.Background(), g, s)
+}
+
+// VerifyContext is Verify with request-scoped accounting (see
+// SimulateContext).
+func VerifyContext(ctx context.Context, g *graph.Graph, s Scheme) (int, error) {
+	res, err := SimulateContext(ctx, g, s)
 	if err != nil {
 		return 0, err
 	}

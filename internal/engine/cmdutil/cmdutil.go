@@ -1,6 +1,7 @@
 // Package cmdutil holds the plumbing every joinpebble command shares:
 // usage-error classification with consistent exit codes, and the
-// -metrics/-trace/-pprof observability flags with their write-out logic.
+// -metrics/-trace/-trace-out/-pprof observability flags with their
+// write-out logic.
 // Keeping it beside the engine makes the four CLIs thin adapters over
 // the engine pipeline instead of four diverging copies of the same glue.
 package cmdutil
@@ -11,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"joinpebble/internal/obs"
@@ -70,10 +72,11 @@ var osExit = os.Exit
 // Obs bundles the observability flags shared by the commands and writes
 // the artifacts out after a run. Zero value = all outputs disabled.
 type Obs struct {
-	cmd     string
-	Metrics string // -metrics: JSON snapshot path
-	Trace   string // -trace: JSONL span-tree path
-	PProf   string // -pprof: expvar/pprof listen address
+	cmd      string
+	Metrics  string // -metrics: JSON snapshot path
+	Trace    string // -trace: JSONL span-tree path
+	TraceOut string // -trace-out: per-scope Chrome traces + flight recorder dir
+	PProf    string // -pprof: expvar/pprof listen address
 
 	pprofSrv *obshttp.Server // live debug server; drained in Finish
 }
@@ -85,6 +88,7 @@ func BindFlags(fs *flag.FlagSet, cmd string, withPProf bool) *Obs {
 	o := &Obs{cmd: cmd}
 	fs.StringVar(&o.Metrics, "metrics", "", "write the metrics snapshot as JSON to this file")
 	fs.StringVar(&o.Trace, "trace", "", "write the span trace as JSONL to this file")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write per-solve Chrome traces and flightrecorder.json into this directory")
 	if withPProf {
 		fs.StringVar(&o.PProf, "pprof", "", "serve net/http/pprof and expvar on this address")
 	}
@@ -104,6 +108,12 @@ func (o *Obs) Start() error {
 	}
 	if o.Trace != "" {
 		obs.SetTracer(obs.NewTracer())
+	}
+	if o.TraceOut != "" {
+		if err := os.MkdirAll(o.TraceOut, 0o755); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		obs.SetScopeTraceDir(o.TraceOut)
 	}
 	return nil
 }
@@ -129,6 +139,13 @@ func (o *Obs) Finish() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "%s: wrote trace to %s\n", o.cmd, o.Trace)
+	}
+	if o.TraceOut != "" {
+		path := filepath.Join(o.TraceOut, "flightrecorder.json")
+		if err := obs.DefaultRecorder.WriteJSONFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote flight recorder to %s\n", o.cmd, path)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"joinpebble/internal/core"
@@ -17,21 +18,24 @@ import (
 // often a family guarantee let the planner skip structural inspection
 // entirely, and — when the degradation ladder engages — why each fall
 // happened (engine/plan/degraded_* by cause, _runs for runs that
-// completed on a lower rung than planned).
+// completed on a lower rung than planned). All bindings are scope-aware:
+// a Run whose context carries an obs.Scope records into that scope (and
+// the totals reach the global registry when the scope closes), so two
+// concurrent solves keep disjoint per-request counters.
 var (
-	cPlanPerfect    = obs.Default.Counter("engine/plan/perfect")
-	cPlanExact      = obs.Default.Counter("engine/plan/exact")
-	cPlanApprox     = obs.Default.Counter("engine/plan/approx")
-	cPlanOverride   = obs.Default.Counter("engine/plan/override")
-	cPlanGuaranteed = obs.Default.Counter("engine/plan/by_guarantee")
-	cRuns           = obs.Default.Counter("engine/runs")
-	tRun            = obs.Default.Timer("engine/run")
+	cPlanPerfect    = obs.ScopedCounter("engine/plan/perfect")
+	cPlanExact      = obs.ScopedCounter("engine/plan/exact")
+	cPlanApprox     = obs.ScopedCounter("engine/plan/approx")
+	cPlanOverride   = obs.ScopedCounter("engine/plan/override")
+	cPlanGuaranteed = obs.ScopedCounter("engine/plan/by_guarantee")
+	cRuns           = obs.ScopedCounter("engine/runs")
+	tRun            = obs.ScopedTimer("engine/run")
 
-	cDegradedRuns      = obs.Default.Counter("engine/plan/degraded_runs")
-	cDegradedBudget    = obs.Default.Counter("engine/plan/degraded_budget")
-	cDegradedDeadline  = obs.Default.Counter("engine/plan/degraded_deadline")
-	cDegradedPanic     = obs.Default.Counter("engine/plan/degraded_panic")
-	cDegradedStructure = obs.Default.Counter("engine/plan/degraded_structure")
+	cDegradedRuns      = obs.ScopedCounter("engine/plan/degraded_runs")
+	cDegradedBudget    = obs.ScopedCounter("engine/plan/degraded_budget")
+	cDegradedDeadline  = obs.ScopedCounter("engine/plan/degraded_deadline")
+	cDegradedPanic     = obs.ScopedCounter("engine/plan/degraded_panic")
+	cDegradedStructure = obs.ScopedCounter("engine/plan/degraded_structure")
 )
 
 // SiteRung is the fault-injection site fired before every rung attempt
@@ -99,9 +103,13 @@ type Plan struct {
 // complete-bipartite components short-circuits to the perfect rung with
 // no graph scan; otherwise the route comes from the same structural
 // classification solver.Auto uses, so the two can never disagree.
-func (p *Planner) Plan(in *Instance) Plan {
+// Routing counters land in the global registry; Run plans through the
+// scoped path so a request's plan decision stays with its scope.
+func (p *Planner) Plan(in *Instance) Plan { return p.plan(context.Background(), in) }
+
+func (p *Planner) plan(ctx context.Context, in *Instance) Plan {
 	if p.Solver != nil {
-		cPlanOverride.Inc()
+		cPlanOverride.Inc(ctx)
 		return Plan{
 			Route:  solver.PlanRoute(in.Graph(), p.ExactLimit),
 			Solver: p.Solver,
@@ -109,8 +117,8 @@ func (p *Planner) Plan(in *Instance) Plan {
 		}
 	}
 	if in.Guarantees.CompleteBipartite {
-		cPlanGuaranteed.Inc()
-		cPlanPerfect.Inc()
+		cPlanGuaranteed.Inc(ctx)
+		cPlanPerfect.Inc(ctx)
 		return Plan{
 			Route:  solver.RoutePerfect,
 			Solver: solver.RouteSolver(solver.RoutePerfect, p.ExactLimit),
@@ -120,11 +128,11 @@ func (p *Planner) Plan(in *Instance) Plan {
 	route := solver.PlanRoute(in.Graph(), p.ExactLimit)
 	switch route {
 	case solver.RoutePerfect:
-		cPlanPerfect.Inc()
+		cPlanPerfect.Inc(ctx)
 	case solver.RouteExact:
-		cPlanExact.Inc()
+		cPlanExact.Inc(ctx)
 	default:
-		cPlanApprox.Inc()
+		cPlanApprox.Inc(ctx)
 	}
 	return Plan{
 		Route:  route,
@@ -193,8 +201,13 @@ type Result struct {
 
 // Run routes the instance, solves it under ctx, verifies the scheme
 // against the pebble-game simulator, and assembles the Result. The
-// existing obs spans/counters of the solver layer fire unchanged
-// underneath the engine/solve span.
+// solver layer's spans and counters fire underneath the engine/solve
+// span, into the request's obs.Scope: if ctx carries one the caller
+// owns it (close it to roll up and read per-request metrics back);
+// otherwise Run opens and closes one itself, so every solve reports to
+// the flight recorder either way. Each rung attempt runs under pprof
+// labels (phase/family/rung), and the scope accumulates the attempt
+// provenance as events plus degraded/panic/fault/error flags.
 //
 // Unless Degrade.Off is set, a rung failure the ladder can absorb — a
 // search budget trip (solver.ErrBudgetExceeded), a per-rung soft
@@ -205,12 +218,39 @@ type Result struct {
 // every attempt recorded in Result.Attempts. The caller's own
 // cancellation always aborts the run.
 func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
-	cRuns.Inc()
-	start := obs.Now()
-	sp := obs.StartSpan("engine/solve")
-	defer sp.End()
+	sc := obs.ScopeFrom(ctx)
+	owned := sc == nil
+	if owned {
+		// Unscoped callers (the CLIs, tests) get a per-run scope for free
+		// so every solve feeds the flight recorder; callers that made
+		// their own scope keep ownership and close it themselves.
+		sc = obs.NewScope("engine/solve")
+		ctx = obs.WithScope(ctx, sc)
+	}
+	res, err := p.run(ctx, in, sc)
+	if owned {
+		sc.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.Snapshot {
+		// Taken after the owned scope's rollup, so the snapshot already
+		// includes this run's own metrics.
+		res.Metrics = obs.Default.Snapshot()
+	}
+	return res, nil
+}
 
-	plan := p.Plan(in)
+// run is the scope-carrying body of Run: ctx always holds sc here.
+func (p *Planner) run(ctx context.Context, in *Instance, sc *obs.Scope) (*Result, error) {
+	cRuns.Inc(ctx)
+	start := obs.Now()
+	sp := obs.StartSpanCtx(ctx, "engine/solve")
+	defer sp.End()
+	sc.Note("family", in.Family)
+
+	plan := p.plan(ctx, in)
 	g := in.Graph()
 	sp.SetInt("edges", int64(g.M()))
 	sp.SetInt("route", int64(plan.Route))
@@ -221,20 +261,35 @@ func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
 		final := i == len(ladder)-1
 		rungCtx, cancel := p.rungContext(ctx, final)
 		rungStart := obs.Now()
-		scheme, cost, err := attemptRung(rungCtx, s, g)
+		var scheme core.Scheme
+		var cost int
+		var err error
+		// Profiling labels per rung: a CPU profile taken during a solve
+		// attributes samples to the phase/family/rung that burned them.
+		pprof.Do(rungCtx, pprof.Labels("phase", "solve", "family", in.Family, "rung", s.Name()), func(ctx context.Context) {
+			scheme, cost, err = attemptRung(ctx, s, g)
+		})
 		cancel()
 		if err == nil {
 			attempts = append(attempts, Attempt{Solver: s.Name(), Elapsed: obs.Since(rungStart)})
-			res := p.assemble(in, plan, g, s.Name(), scheme, cost, start)
+			sc.Event("rung/"+s.Name(), "", obs.Since(rungStart))
+			res := p.assemble(ctx, in, plan, g, s.Name(), scheme, cost, start)
 			res.Attempts = attempts
 			res.Degraded = i > 0
 			if res.Degraded {
-				cDegradedRuns.Inc()
+				cDegradedRuns.Inc(ctx)
+				sc.Flag(obs.FlagDegraded)
 			}
 			return res, nil
 		}
 		attempts = append(attempts, Attempt{Solver: s.Name(), Err: err.Error(), Elapsed: obs.Since(rungStart)})
+		sc.Event("rung/"+s.Name(), err.Error(), obs.Since(rungStart))
+		if errors.Is(err, solver.ErrPanic) {
+			sc.Flag(obs.FlagPanic)
+		}
 		if p.Degrade.Off || final || !countDegradation(ctx, err) {
+			sc.Flag(obs.FlagError)
+			sc.Note("error", err.Error())
 			return nil, fmt.Errorf("engine: %s via %s: %w", in.Family, s.Name(), err)
 		}
 		sp.SetInt("degraded", int64(i+1))
@@ -301,13 +356,13 @@ func countDegradation(ctx context.Context, err error) bool {
 	}
 	switch {
 	case errors.Is(err, solver.ErrBudgetExceeded):
-		cDegradedBudget.Inc()
+		cDegradedBudget.Inc(ctx)
 	case errors.Is(err, context.DeadlineExceeded):
-		cDegradedDeadline.Inc() // a rung soft deadline, caller still live
+		cDegradedDeadline.Inc(ctx) // a rung soft deadline, caller still live
 	case errors.Is(err, solver.ErrPanic):
-		cDegradedPanic.Inc()
+		cDegradedPanic.Inc(ctx)
 	case errors.Is(err, solver.ErrStructure):
-		cDegradedStructure.Inc()
+		cDegradedStructure.Inc(ctx)
 	default:
 		return false
 	}
@@ -315,7 +370,7 @@ func countDegradation(ctx context.Context, err error) bool {
 }
 
 // assemble builds the Result for the rung that produced the scheme.
-func (p *Planner) assemble(in *Instance, plan Plan, g *graph.Graph, solverName string, scheme core.Scheme, cost int, start time.Time) *Result {
+func (p *Planner) assemble(ctx context.Context, in *Instance, plan Plan, g *graph.Graph, solverName string, scheme core.Scheme, cost int, start time.Time) *Result {
 	eff := scheme.EffectiveCost(g)
 	res := &Result{
 		Family:        in.Family,
@@ -334,10 +389,7 @@ func (p *Planner) assemble(in *Instance, plan Plan, g *graph.Graph, solverName s
 		Components:    core.Betti0(g),
 		Elapsed:       obs.Since(start),
 	}
-	tRun.Observe(res.Elapsed)
-	if p.Snapshot {
-		res.Metrics = obs.Default.Snapshot()
-	}
+	tRun.Observe(ctx, res.Elapsed)
 	return res
 }
 

@@ -27,7 +27,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"joinpebble/internal/obs"
 )
+
+func init() {
+	// Let obs.Scope flag requests during which any site fired without
+	// obs importing this package (obs stays dependency-free; the wiring
+	// points the other way).
+	obs.FaultFiredTotal = FiredTotal
+}
 
 // Fault describes what happens when an armed site fires. Effects apply
 // in order: Delay (sleep), then Panic, then Err. The zero Fault is
@@ -64,9 +73,19 @@ var (
 	// Fire returns after one atomic load. It counts armed sites.
 	armedCount atomic.Int64
 
+	// firedTotal counts fault activations process-wide, across all sites
+	// and surviving Reset, so a sampler (obs.Scope) can detect "a fault
+	// fired while I was open" from two loads.
+	firedTotal atomic.Int64
+
 	mu    sync.Mutex
 	sites = map[string]*site{}
 )
+
+// FiredTotal returns the process-wide number of fault activations that
+// applied their effects, across all sites since process start (Reset
+// does not rewind it).
+func FiredTotal() int64 { return firedTotal.Load() }
 
 // Arm installs f at the named site, replacing any previous fault there.
 // The site's hit and fired counts restart at zero.
@@ -150,6 +169,7 @@ func fire(name string) error {
 		(f.Times == 0 || s.fired < int64(f.Times))
 	if active {
 		s.fired++
+		firedTotal.Add(1)
 	}
 	mu.Unlock()
 	if !active {

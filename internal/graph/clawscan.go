@@ -9,6 +9,7 @@ import (
 
 	"joinpebble/internal/bitset"
 	"joinpebble/internal/faultinject"
+	"joinpebble/internal/obs"
 )
 
 // This file is the bitset claw-scan kernel behind FindClaw/FindClawIn —
@@ -206,6 +207,14 @@ func (p *clawProbe) probeCenter(a Adjacency, s *ClawScratch, v int, lazyRows boo
 // deterministic at every worker count. err is non-nil only on ctx
 // cancellation or an injected SiteClawScan fault.
 func FindClawContext(ctx context.Context, a Adjacency, s *ClawScratch) (center int, leaves [3]int, ok bool, err error) {
+	start := obs.Now()
+	defer func() {
+		tClawDetection.Observe(ctx, obs.Since(start))
+		cClawChecks.Inc(ctx)
+		if ok {
+			cClawsFound.Inc(ctx)
+		}
+	}()
 	n := a.N()
 	words := (n + 63) >> 6
 	if n*words > clawRowBudgetWords {

@@ -108,11 +108,14 @@ func FindClaw(g *Graph) (center int, leaves [3]int, ok bool) {
 
 // Claw-detection accounting: one timer observation and one check counter
 // per search, a found counter per claw — the "claw count" quantity
-// DESIGN.md maps to Theorem 3.1's claw-freeness precondition.
+// DESIGN.md maps to Theorem 3.1's claw-freeness precondition. The vars
+// are scope-aware: FindClawContext records into the obs.Scope on its
+// context when one is present, and the context-free wrappers (which pass
+// context.Background()) land in the global registry as before.
 var (
-	cClawChecks    = obs.Default.Counter("graph/claw/checks")
-	cClawsFound    = obs.Default.Counter("graph/claw/found")
-	tClawDetection = obs.Default.Timer("graph/phase/claw_detection")
+	cClawChecks    = obs.ScopedCounter("graph/claw/checks")
+	cClawsFound    = obs.ScopedCounter("graph/claw/found")
+	tClawDetection = obs.ScopedTimer("graph/phase/claw_detection")
 )
 
 // FindClawIn is FindClaw over any Adjacency — in particular a
@@ -128,14 +131,6 @@ func FindClawIn(a Adjacency) (center int, leaves [3]int, ok bool) {
 // across scans instead of growing fresh slices per call. s may be nil
 // (allocate per scan) and must not be shared between concurrent scans.
 func FindClawInScratch(a Adjacency, s *ClawScratch) (center int, leaves [3]int, ok bool) {
-	start := obs.Now()
-	defer func() {
-		tClawDetection.Observe(obs.Since(start))
-		cClawChecks.Inc()
-		if ok {
-			cClawsFound.Inc()
-		}
-	}()
 	var err error
 	center, leaves, ok, err = FindClawContext(context.Background(), a, s)
 	if err != nil {

@@ -1,0 +1,144 @@
+package obs
+
+// The flight recorder: a fixed-size ring buffer of the last N closed
+// Scope summaries, plus full span dumps for every scope that closed
+// flagged (degraded, panicked, faulted, or errored). Like its aviation
+// namesake it is always on and bounded: steady-state traffic costs two
+// ring slots of memory per request, and when a solve goes wrong the
+// recorder already holds the whole story — attempt provenance, metrics,
+// and span forest — without anyone having had to turn tracing on first.
+// obshttp serves it at /debug/joinpebble/flightrecorder; cmdutil's
+// -trace-out dumps it to flightrecorder.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Default ring depths: recent summaries are cheap (no spans), flagged
+// records carry full span forests so the ring is smaller.
+const (
+	DefaultRecorderRecent  = 64
+	DefaultRecorderFlagged = 16
+)
+
+// FlightRecord is one retained flagged scope: the summary plus the
+// complete span forest it produced.
+type FlightRecord struct {
+	Summary ScopeSummary `json:"summary"`
+	Spans   []SpanRecord `json:"spans,omitempty"`
+}
+
+// FlightRecorder retains recent scope summaries in a ring buffer.
+// The zero value is not usable; use NewFlightRecorder or the package
+// DefaultRecorder.
+type FlightRecorder struct {
+	mu           sync.Mutex
+	recentCap    int
+	flaggedCap   int
+	total        int64
+	flaggedTotal int64
+	recent       []ScopeSummary // ring, oldest first after unwrap
+	flagged      []FlightRecord
+	recentAt     int
+	flaggedAt    int
+}
+
+// DefaultRecorder is the process-wide flight recorder every Scope
+// reports into unless redirected with Scope.SetRecorder.
+var DefaultRecorder = NewFlightRecorder(DefaultRecorderRecent, DefaultRecorderFlagged)
+
+// NewFlightRecorder returns a recorder retaining the last recent scope
+// summaries and the last flagged full records (minimum 1 each).
+func NewFlightRecorder(recent, flagged int) *FlightRecorder {
+	if recent < 1 {
+		recent = 1
+	}
+	if flagged < 1 {
+		flagged = 1
+	}
+	return &FlightRecorder{recentCap: recent, flaggedCap: flagged}
+}
+
+// Record retains sum in the recent ring; when the scope closed flagged,
+// the full record — summary plus span forest — is retained as well.
+// Scope.Close is the caller; spans must not be mutated afterwards.
+func (fr *FlightRecorder) Record(sum ScopeSummary, spans []SpanRecord) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.total++
+	if len(fr.recent) < fr.recentCap {
+		fr.recent = append(fr.recent, sum)
+	} else {
+		fr.recent[fr.recentAt] = sum
+		fr.recentAt = (fr.recentAt + 1) % fr.recentCap
+	}
+	if len(sum.Flags) == 0 {
+		return
+	}
+	fr.flaggedTotal++
+	rec := FlightRecord{Summary: sum, Spans: spans}
+	if len(fr.flagged) < fr.flaggedCap {
+		fr.flagged = append(fr.flagged, rec)
+	} else {
+		fr.flagged[fr.flaggedAt] = rec
+		fr.flaggedAt = (fr.flaggedAt + 1) % fr.flaggedCap
+	}
+}
+
+// FlightRecorderSnapshot is the frozen, JSON-shaped state of a recorder.
+type FlightRecorderSnapshot struct {
+	RecentCapacity  int            `json:"recent_capacity"`
+	FlaggedCapacity int            `json:"flagged_capacity"`
+	Total           int64          `json:"total"`
+	FlaggedTotal    int64          `json:"flagged_total"`
+	Recent          []ScopeSummary `json:"recent"`
+	Flagged         []FlightRecord `json:"flagged"`
+}
+
+// unwrap returns ring's contents oldest-first given the next overwrite
+// position at.
+func unwrapRing[T any](ring []T, at int) []T {
+	out := make([]T, 0, len(ring))
+	out = append(out, ring[at:]...)
+	return append(out, ring[:at]...)
+}
+
+// Snapshot freezes the recorder's current state, oldest entries first.
+func (fr *FlightRecorder) Snapshot() *FlightRecorderSnapshot {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	s := &FlightRecorderSnapshot{
+		RecentCapacity:  fr.recentCap,
+		FlaggedCapacity: fr.flaggedCap,
+		Total:           fr.total,
+		FlaggedTotal:    fr.flaggedTotal,
+	}
+	if len(fr.recent) < fr.recentCap {
+		s.Recent = append([]ScopeSummary(nil), fr.recent...)
+	} else {
+		s.Recent = unwrapRing(fr.recent, fr.recentAt)
+	}
+	if len(fr.flagged) < fr.flaggedCap {
+		s.Flagged = append([]FlightRecord(nil), fr.flagged...)
+	} else {
+		s.Flagged = unwrapRing(fr.flagged, fr.flaggedAt)
+	}
+	return s
+}
+
+// MarshalJSON renders the recorder's current snapshot, making a
+// *FlightRecorder directly servable (obshttp does).
+func (fr *FlightRecorder) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fr.Snapshot())
+}
+
+// WriteJSONFile atomically writes the current snapshot as indented JSON.
+func (fr *FlightRecorder) WriteJSONFile(path string) error {
+	data, err := json.MarshalIndent(fr.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal flight recorder: %w", err)
+	}
+	return AtomicWriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func summaryN(i int, flags ...string) ScopeSummary {
+	return ScopeSummary{ID: int64(i), Name: fmt.Sprintf("rec/%d", i), Flags: flags}
+}
+
+func TestFlightRecorderRingWraps(t *testing.T) {
+	fr := NewFlightRecorder(4, 2)
+	for i := 1; i <= 10; i++ {
+		fr.Record(summaryN(i), nil)
+	}
+	snap := fr.Snapshot()
+	if snap.Total != 10 || snap.FlaggedTotal != 0 {
+		t.Fatalf("totals = %d/%d, want 10/0", snap.Total, snap.FlaggedTotal)
+	}
+	if len(snap.Recent) != 4 {
+		t.Fatalf("recent len = %d, want 4", len(snap.Recent))
+	}
+	for i, sum := range snap.Recent {
+		if want := int64(7 + i); sum.ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d (oldest first)", i, sum.ID, want)
+		}
+	}
+}
+
+func TestFlightRecorderFlaggedRing(t *testing.T) {
+	fr := NewFlightRecorder(8, 2)
+	fr.Record(summaryN(1), nil)
+	fr.Record(summaryN(2, FlagDegraded), []SpanRecord{{ID: 1, Name: "a"}})
+	fr.Record(summaryN(3, FlagPanic), []SpanRecord{{ID: 1, Name: "b"}})
+	fr.Record(summaryN(4, FlagFault, FlagError), []SpanRecord{{ID: 1, Name: "c"}})
+	snap := fr.Snapshot()
+	if snap.FlaggedTotal != 3 {
+		t.Fatalf("flagged total = %d, want 3", snap.FlaggedTotal)
+	}
+	if len(snap.Flagged) != 2 {
+		t.Fatalf("flagged ring len = %d, want capacity 2", len(snap.Flagged))
+	}
+	// Capacity 2 keeps the two most recent flagged records, oldest first.
+	if snap.Flagged[0].Summary.ID != 3 || snap.Flagged[1].Summary.ID != 4 {
+		t.Fatalf("flagged ids = %d,%d, want 3,4", snap.Flagged[0].Summary.ID, snap.Flagged[1].Summary.ID)
+	}
+	if len(snap.Flagged[1].Spans) != 1 || snap.Flagged[1].Spans[0].Name != "c" {
+		t.Fatalf("flagged spans = %+v", snap.Flagged[1].Spans)
+	}
+}
+
+func TestFlightRecorderCapacityFloor(t *testing.T) {
+	fr := NewFlightRecorder(0, -1)
+	fr.Record(summaryN(1, FlagError), nil)
+	fr.Record(summaryN(2, FlagError), nil)
+	snap := fr.Snapshot()
+	if snap.RecentCapacity != 1 || snap.FlaggedCapacity != 1 {
+		t.Fatalf("capacities = %d/%d, want 1/1", snap.RecentCapacity, snap.FlaggedCapacity)
+	}
+	if len(snap.Recent) != 1 || snap.Recent[0].ID != 2 {
+		t.Fatalf("recent = %+v, want only the newest", snap.Recent)
+	}
+}
+
+func TestFlightRecorderJSONRoundTrip(t *testing.T) {
+	fr := NewFlightRecorder(4, 2)
+	fr.Record(summaryN(1, FlagDegraded), []SpanRecord{{ID: 1, Name: "engine/solve", DurNs: 5}})
+	data, err := json.Marshal(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap FlightRecorderSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Total != 1 || len(snap.Flagged) != 1 || snap.Flagged[0].Spans[0].Name != "engine/solve" {
+		t.Fatalf("round-tripped snapshot = %+v", snap)
+	}
+
+	path := filepath.Join(t.TempDir(), "fr.json")
+	if err := fr.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"sort"
@@ -33,6 +34,26 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// casMin lowers a to v if v is smaller (CAS loop, lock-free).
+func casMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// casMax raises a to v if v is larger (CAS loop, lock-free).
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 
 // Counter is a monotonically increasing atomic counter.
 type Counter struct {
@@ -88,18 +109,8 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
-	for {
-		cur := h.min.Load()
-		if v >= cur || h.min.CompareAndSwap(cur, v) {
-			break
-		}
-	}
-	for {
-		cur := h.max.Load()
-		if v <= cur || h.max.CompareAndSwap(cur, v) {
-			break
-		}
-	}
+	casMin(&h.min, v)
+	casMax(&h.max, v)
 }
 
 // Count returns the number of observations.
@@ -108,12 +119,154 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
-// Timer accumulates durations of a repeated operation: count, total, and
-// the min/max extremes, all in nanoseconds. Reading the clock is the
-// caller's job (start := time.Now(); ...; t.ObserveSince(start)), so a
-// Timer itself never syscalls.
+// bucketList materializes the current bucket counts as a snapshot slice.
+func (h *Histogram) bucketList() []Bucket {
+	out := make([]Bucket, len(h.buckets))
+	for i := range h.buckets {
+		le := int64(math.MaxInt64)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out[i] = Bucket{LE: le, N: h.buckets[i].Load()}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed values
+// by linear interpolation inside the covering bucket, clamped to the
+// exact [Min, Max] extremes. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	return quantileFromBuckets(h.bucketList(), count, h.min.Load(), h.max.Load(), q)
+}
+
+// merge folds src into h: bucket-by-bucket when the layouts match, by
+// re-binning each source bucket's upper bound otherwise (a bounded-error
+// approximation — counts and sums stay exact either way). Scope rollup
+// is the caller, so src is quiescent.
+func (h *Histogram) merge(src *Histogram) {
+	n := src.count.Load()
+	if n == 0 {
+		return
+	}
+	sameBounds := len(h.bounds) == len(src.bounds)
+	if sameBounds {
+		for i := range h.bounds {
+			if h.bounds[i] != src.bounds[i] {
+				sameBounds = false
+				break
+			}
+		}
+	}
+	if sameBounds {
+		for i := range src.buckets {
+			if v := src.buckets[i].Load(); v != 0 {
+				h.buckets[i].Add(v)
+			}
+		}
+	} else {
+		srcMax := src.max.Load()
+		for i := range src.buckets {
+			v := src.buckets[i].Load()
+			if v == 0 {
+				continue
+			}
+			rep := srcMax
+			if i < len(src.bounds) && src.bounds[i] < rep {
+				rep = src.bounds[i]
+			}
+			j := sort.Search(len(h.bounds), func(j int) bool { return rep <= h.bounds[j] })
+			h.buckets[j].Add(v)
+		}
+	}
+	h.count.Add(n)
+	h.sum.Add(src.sum.Load())
+	casMin(&h.min, src.min.Load())
+	casMax(&h.max, src.max.Load())
+}
+
+// quantileFromBuckets interpolates the q-quantile from cumulative bucket
+// counts (shared by live metrics and their snapshots). Buckets must be in
+// ascending LE order and complete — zero-count buckets included — so each
+// bucket's lower edge is the previous bound. min/max tighten the first
+// and last covering buckets and clamp the result, which makes single-value
+// distributions exact.
+func quantileFromBuckets(buckets []Bucket, count, min, max int64, q float64) float64 {
+	if count <= 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(min)
+	}
+	if q >= 1 {
+		return float64(max)
+	}
+	rank := q * float64(count)
+	var cum int64
+	lowEdge := float64(min)
+	for _, b := range buckets {
+		if b.N > 0 {
+			hi := float64(b.LE)
+			if float64(max) < hi {
+				hi = float64(max)
+			}
+			if lowEdge > hi {
+				lowEdge = hi
+			}
+			if rank <= float64(cum+b.N) {
+				v := lowEdge + (hi-lowEdge)*(rank-float64(cum))/float64(b.N)
+				if v < float64(min) {
+					v = float64(min)
+				}
+				if v > float64(max) {
+					v = float64(max)
+				}
+				return v
+			}
+			cum += b.N
+		}
+		if e := float64(b.LE); e > lowEdge {
+			lowEdge = e
+		}
+		if lowEdge > float64(max) {
+			lowEdge = float64(max)
+		}
+	}
+	return float64(max) // floating-point slack pushed rank past the last bucket
+}
+
+// timerBucketCount is the number of finite power-of-two duration buckets
+// a Timer keeps: bucket i counts durations d with d <= 2^i nanoseconds,
+// and one overflow bucket catches the rest. 2^39 ns ≈ 9.2 minutes, far
+// beyond any solve this repo times, so the overflow bucket stays empty in
+// practice.
+const timerBucketCount = 40
+
+// timerBucketIndex maps a duration in nanoseconds to its bucket: the
+// first i with n <= 2^i, computed with one bit-length instruction instead
+// of a search (Observe sits on solver flush paths).
+func timerBucketIndex(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(n - 1))
+	if i > timerBucketCount {
+		return timerBucketCount
+	}
+	return i
+}
+
+// Timer accumulates durations of a repeated operation: count, total, the
+// min/max extremes, and a power-of-two bucket distribution (for Quantile),
+// all in nanoseconds. Reading the clock is the caller's job
+// (start := time.Now(); ...; t.ObserveSince(start)), so a Timer itself
+// never syscalls.
 type Timer struct {
 	count, total, min, max atomic.Int64
+	buckets                [timerBucketCount + 1]atomic.Int64
 }
 
 func newTimer() *Timer {
@@ -128,18 +281,9 @@ func (t *Timer) Observe(d time.Duration) {
 	n := int64(d)
 	t.count.Add(1)
 	t.total.Add(n)
-	for {
-		cur := t.min.Load()
-		if n >= cur || t.min.CompareAndSwap(cur, n) {
-			break
-		}
-	}
-	for {
-		cur := t.max.Load()
-		if n <= cur || t.max.CompareAndSwap(cur, n) {
-			break
-		}
-	}
+	t.buckets[timerBucketIndex(n)].Add(1)
+	casMin(&t.min, n)
+	casMax(&t.max, n)
 }
 
 // ObserveSince records the time elapsed since start.
@@ -150,6 +294,61 @@ func (t *Timer) Count() int64 { return t.count.Load() }
 
 // Total returns the accumulated duration.
 func (t *Timer) Total() time.Duration { return time.Duration(t.total.Load()) }
+
+// bucketList materializes the non-empty prefix of the duration buckets
+// (zero-count buckets inside the prefix included, so quantile
+// interpolation sees every lower edge).
+func (t *Timer) bucketList() []Bucket {
+	last := -1
+	var raw [timerBucketCount + 1]int64
+	for i := range t.buckets {
+		raw[i] = t.buckets[i].Load()
+		if raw[i] != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := make([]Bucket, last+1)
+	for i := 0; i <= last; i++ {
+		le := int64(math.MaxInt64)
+		if i < timerBucketCount {
+			le = int64(1) << i
+		}
+		out[i] = Bucket{LE: le, N: raw[i]}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile of the recorded durations in
+// nanoseconds, interpolated inside the power-of-two buckets and clamped
+// to the exact [min, max] extremes. With no observations it returns 0.
+func (t *Timer) Quantile(q float64) float64 {
+	count := t.count.Load()
+	if count == 0 {
+		return 0
+	}
+	return quantileFromBuckets(t.bucketList(), count, t.min.Load(), t.max.Load(), q)
+}
+
+// merge folds src into t (bucket layouts are always identical). Scope
+// rollup is the caller, so src is quiescent.
+func (t *Timer) merge(src *Timer) {
+	n := src.count.Load()
+	if n == 0 {
+		return
+	}
+	for i := range src.buckets {
+		if v := src.buckets[i].Load(); v != 0 {
+			t.buckets[i].Add(v)
+		}
+	}
+	t.count.Add(n)
+	t.total.Add(src.total.Load())
+	casMin(&t.min, src.min.Load())
+	casMax(&t.max, src.max.Load())
+}
 
 // Registry is a namespace of metrics. The zero value is not usable; use
 // NewRegistry or the package-level Default. Lookup methods get-or-create,
@@ -234,10 +433,14 @@ func (r *Registry) Timer(name string) *Timer {
 
 // Reset zeroes every registered metric (buckets and extremes included)
 // without unregistering anything. Tests use it to measure deltas; bound
-// metric pointers stay valid.
+// metric pointers stay valid. It takes the write lock so a concurrent
+// Snapshot (read lock) observes either the pre-reset or the post-reset
+// state, never a mix of the two — under the old read-lock version a
+// snapshot could report counters from before a reset next to histograms
+// from after it (see TestResetSnapshotConsistency).
 func (r *Registry) Reset() {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, c := range r.counters {
 		c.v.Store(0)
 	}
@@ -251,10 +454,34 @@ func (r *Registry) Reset() {
 		h.max.Store(math.MinInt64)
 	}
 	for _, t := range r.timers {
+		for i := range t.buckets {
+			t.buckets[i].Store(0)
+		}
 		t.count.Store(0)
 		t.total.Store(0)
 		t.min.Store(math.MaxInt64)
 		t.max.Store(math.MinInt64)
+	}
+}
+
+// addFrom merges every metric of src into r by addition: counters add
+// their values, histograms and timers merge counts, sums, extremes and
+// buckets. Scope rollup is the only caller — src is a closed scope's
+// quiescent child registry, so reading it metric-by-metric is consistent
+// enough.
+func (r *Registry) addFrom(src *Registry) {
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	for name, c := range src.counters {
+		if v := c.Value(); v != 0 {
+			r.Counter(name).Add(v)
+		}
+	}
+	for name, h := range src.hists {
+		r.Histogram(name, h.bounds).merge(h)
+	}
+	for name, t := range src.timers {
+		r.Timer(name).merge(t)
 	}
 }
 
@@ -274,13 +501,31 @@ type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets"`
 }
 
+// Quantile estimates the q-quantile of the frozen histogram, with the
+// same interpolation as the live Histogram.Quantile.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	return quantileFromBuckets(hs.Buckets, hs.Count, hs.Min, hs.Max, q)
+}
+
 // TimerSnapshot is the frozen state of one timer, in nanoseconds.
+// Buckets is the non-empty prefix of the power-of-two duration
+// distribution; readers of older snapshots see it absent.
 type TimerSnapshot struct {
-	Count   int64   `json:"count"`
-	TotalNs int64   `json:"total_ns"`
-	AvgNs   float64 `json:"avg_ns"`
-	MinNs   int64   `json:"min_ns"`
-	MaxNs   int64   `json:"max_ns"`
+	Count   int64    `json:"count"`
+	TotalNs int64    `json:"total_ns"`
+	AvgNs   float64  `json:"avg_ns"`
+	MinNs   int64    `json:"min_ns"`
+	MaxNs   int64    `json:"max_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile in nanoseconds of the frozen timer.
+// Snapshots without buckets (older files) fall back to the average.
+func (ts TimerSnapshot) Quantile(q float64) float64 {
+	if len(ts.Buckets) == 0 {
+		return ts.AvgNs
+	}
+	return quantileFromBuckets(ts.Buckets, ts.Count, ts.MinNs, ts.MaxNs, q)
 }
 
 // Snapshot is a point-in-time copy of a registry, shaped for JSON: maps
@@ -311,18 +556,11 @@ func (r *Registry) Snapshot() *Snapshot {
 		hs := HistogramSnapshot{
 			Count:   h.count.Load(),
 			Sum:     h.sum.Load(),
-			Buckets: make([]Bucket, len(h.buckets)),
+			Buckets: h.bucketList(),
 		}
 		if hs.Count > 0 {
 			hs.Min = h.min.Load()
 			hs.Max = h.max.Load()
-		}
-		for i := range h.buckets {
-			le := int64(math.MaxInt64)
-			if i < len(h.bounds) {
-				le = h.bounds[i]
-			}
-			hs.Buckets[i] = Bucket{LE: le, N: h.buckets[i].Load()}
 		}
 		s.Histograms[name] = hs
 	}
@@ -335,6 +573,7 @@ func (r *Registry) Snapshot() *Snapshot {
 			ts.AvgNs = float64(ts.TotalNs) / float64(ts.Count)
 			ts.MinNs = t.min.Load()
 			ts.MaxNs = t.max.Load()
+			ts.Buckets = t.bucketList()
 		}
 		s.Timers[name] = ts
 	}

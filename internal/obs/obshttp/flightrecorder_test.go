@@ -1,0 +1,89 @@
+package obshttp_test
+
+// The flight-recorder endpoint test lives in an external test package so
+// it can drive a real engine solve through the default recorder without
+// obshttp itself depending on the engine.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"joinpebble/internal/engine"
+	"joinpebble/internal/family"
+	"joinpebble/internal/faultinject"
+	"joinpebble/internal/obs"
+	"joinpebble/internal/obs/obshttp"
+	"joinpebble/internal/solver"
+)
+
+// TestFlightRecorderEndpoint drives a fault-injected degraded solve
+// through the default recorder and retrieves it over HTTP: the flagged
+// record must arrive with its flags, provenance events, and span forest
+// intact.
+func TestFlightRecorderEndpoint(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm(engine.SiteRung, faultinject.Fault{
+		Err:   fmt.Errorf("%w: injected for test", solver.ErrBudgetExceeded),
+		Times: 1,
+	})
+	var p engine.Planner
+	res, err := p.Run(context.Background(), engine.FromBipartite("spider", family.Spider(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("run did not degrade")
+	}
+
+	srv, err := obshttp.Start("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // test teardown
+	}()
+
+	resp, err := http.Get("http://" + srv.Addr().String() + obshttp.FlightRecorderPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.FlightRecorderSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("endpoint body is not a recorder snapshot: %v\n%s", err, body)
+	}
+	if snap.FlaggedTotal == 0 {
+		t.Fatal("degraded solve not retained in the flagged ring")
+	}
+	rec := snap.Flagged[len(snap.Flagged)-1]
+	var hasDegraded bool
+	for _, f := range rec.Summary.Flags {
+		hasDegraded = hasDegraded || f == obs.FlagDegraded
+	}
+	if !hasDegraded {
+		t.Fatalf("flags = %v, want degraded", rec.Summary.Flags)
+	}
+	if len(rec.Summary.Events) != 2 || rec.Summary.Events[0].Err == "" {
+		t.Fatalf("events = %+v, want the full attempt provenance", rec.Summary.Events)
+	}
+	if len(rec.Spans) == 0 || rec.Spans[0].Name != "engine/solve" {
+		t.Fatalf("spans = %+v, want the request's span forest", rec.Spans)
+	}
+}

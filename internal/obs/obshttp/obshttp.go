@@ -1,12 +1,14 @@
 // Package obshttp exposes an obs.Registry over HTTP: the registry as an
-// expvar variable on /debug/vars and the standard net/http/pprof
-// profiling handlers on /debug/pprof/. It exists as a subpackage so that
+// expvar variable on /debug/vars, the standard net/http/pprof profiling
+// handlers on /debug/pprof/, and the scope flight recorder on
+// /debug/joinpebble/flightrecorder. It exists as a subpackage so that
 // internal/obs itself stays dependency-free — only binaries that opt in
 // (the cmd tools' -pprof flag) link net/http.
 package obshttp
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
@@ -16,6 +18,24 @@ import (
 
 	"joinpebble/internal/obs"
 )
+
+// FlightRecorderPath is the debug endpoint serving the process flight
+// recorder: the last N scope summaries plus full span dumps for every
+// flagged (degraded/faulted/panicked/errored) solve.
+const FlightRecorderPath = "/debug/joinpebble/flightrecorder"
+
+// FlightRecorderHandler serves fr's current snapshot as indented JSON.
+func FlightRecorderHandler(fr *obs.FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, err := json.MarshalIndent(fr.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n')) //nolint:errcheck // best-effort response body
+	})
+}
 
 var publishOnce sync.Map // name -> struct{}; expvar.Publish panics on duplicates
 
@@ -61,6 +81,7 @@ func Start(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle(FlightRecorderPath, FlightRecorderHandler(obs.DefaultRecorder))
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{

@@ -22,9 +22,20 @@ import (
 // Tracer records spans against a fixed epoch. Create with NewTracer;
 // a nil *Tracer is the disabled tracer and is safe to use.
 type Tracer struct {
-	mu    sync.Mutex
-	epoch time.Time
-	spans []*Span // creation order; parents always precede children
+	mu       sync.Mutex
+	epoch    time.Time
+	spans    []*Span // creation order; parents always precede children
+	imported []importBatch
+}
+
+// importBatch is a block of span records absorbed from another tracer
+// (a closing Scope). Records keep their original 1-based ids; renumbering
+// into the host tracer's id space and rebasing start times onto its epoch
+// happen at read time, so absorbing is cheap and native spans keep their
+// ids.
+type importBatch struct {
+	recs    []SpanRecord
+	deltaNs int64 // source epoch minus host epoch
 }
 
 // Span is one timed, named region of work, possibly nested. A nil *Span
@@ -107,9 +118,10 @@ func (s *Span) SetInt(key string, v int64) {
 	s.t.mu.Unlock()
 }
 
-// spanRecord is the JSONL line layout: ids are 1-based creation order,
-// parent 0 means a root span. An unended span has dur_ns -1.
-type spanRecord struct {
+// SpanRecord is the frozen form of one span and the JSONL line layout:
+// ids are 1-based creation order, parent 0 means a root span. An unended
+// span has dur_ns -1.
+type SpanRecord struct {
 	ID      int              `json:"id"`
 	Parent  int              `json:"parent"`
 	Depth   int              `json:"depth"`
@@ -119,16 +131,14 @@ type spanRecord struct {
 	Attrs   map[string]int64 `json:"attrs,omitempty"`
 }
 
-// WriteJSONL writes one JSON object per span, in creation order (a
-// topological order of the forest: every parent precedes its children).
-func (t *Tracer) WriteJSONL(w io.Writer) error {
-	if t == nil {
-		return nil
-	}
-	t.mu.Lock()
-	records := make([]spanRecord, len(t.spans))
-	for i, s := range t.spans {
-		rec := spanRecord{
+// records freezes every span — native first, then absorbed batches with
+// their ids renumbered past the native spans and their start times
+// rebased onto t's epoch. Every parent still precedes its children.
+// Callers must hold t.mu.
+func (t *Tracer) records() []SpanRecord {
+	out := make([]SpanRecord, 0, len(t.spans))
+	for _, s := range t.spans {
+		rec := SpanRecord{
 			ID:      s.id,
 			Depth:   s.depth,
 			Name:    s.name,
@@ -137,7 +147,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		}
 		if len(s.attrs) > 0 {
 			// Copy under the lock: the span may gain attributes while the
-			// records are marshalled below.
+			// records are marshalled by the caller.
 			rec.Attrs = make(map[string]int64, len(s.attrs))
 			for k, v := range s.attrs {
 				rec.Attrs[k] = v
@@ -149,8 +159,59 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		if !s.ended {
 			rec.DurNs = -1
 		}
-		records[i] = rec
+		out = append(out, rec)
 	}
+	offset := len(t.spans)
+	for _, b := range t.imported {
+		for _, rec := range b.recs {
+			rec.ID += offset
+			if rec.Parent > 0 {
+				rec.Parent += offset
+			}
+			rec.StartNs += b.deltaNs
+			out = append(out, rec)
+		}
+		offset += len(b.recs)
+	}
+	return out
+}
+
+// Records freezes the tracer's current spans (absorbed batches included,
+// renumbered and rebased). Nil-safe: a nil tracer has no records.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.records()
+}
+
+// absorb appends src's records to t as an imported batch. A closing
+// Scope uses this to fold its private span forest into the process-wide
+// tracer so `-trace` output still carries every solve.
+func (t *Tracer) absorb(src *Tracer) {
+	if t == nil || src == nil || t == src {
+		return
+	}
+	recs := src.Records()
+	if len(recs) == 0 {
+		return
+	}
+	delta := src.epoch.Sub(t.epoch).Nanoseconds()
+	t.mu.Lock()
+	t.imported = append(t.imported, importBatch{recs: recs, deltaNs: delta})
+	t.mu.Unlock()
+}
+
+// WriteJSONL writes one JSON object per span, in creation order (a
+// topological order of the forest: every parent precedes its children).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	records := t.records()
 	t.mu.Unlock()
 	for _, rec := range records {
 		line, err := json.Marshal(rec)

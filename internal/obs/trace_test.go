@@ -8,18 +8,18 @@ import (
 	"testing"
 )
 
-func parseJSONL(t *testing.T, tr *Tracer) []spanRecord {
+func parseJSONL(t *testing.T, tr *Tracer) []SpanRecord {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := tr.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var out []spanRecord
+	var out []SpanRecord
 	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
 		if line == "" {
 			continue
 		}
-		var rec spanRecord
+		var rec SpanRecord
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Fatalf("bad JSONL line %q: %v", line, err)
 		}
@@ -48,7 +48,7 @@ func TestSpanTreeNesting(t *testing.T) {
 	if len(recs) != 5 {
 		t.Fatalf("got %d spans, want 5", len(recs))
 	}
-	byName := map[string]spanRecord{}
+	byName := map[string]SpanRecord{}
 	for i, rec := range recs {
 		if rec.ID != i+1 {
 			t.Fatalf("span %d has id %d; creation order should be 1-based and dense", i, rec.ID)

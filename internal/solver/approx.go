@@ -11,8 +11,8 @@ import (
 )
 
 var (
-	tPathPartition = obs.Default.Timer("solver/phase/path_partition")
-	cPathPieces    = obs.Default.Counter("solver/approx/path_pieces")
+	tPathPartition = obs.ScopedTimer("solver/phase/path_partition")
+	cPathPieces    = obs.ScopedCounter("solver/approx/path_pieces")
 )
 
 // Approx125 implements the constructive proof of Theorem 3.1 / Lemma 3.1:
@@ -77,8 +77,8 @@ func (a Approx125) Solve(g *graph.Graph) (core.Scheme, error) {
 
 // SolveContext implements ContextSolver.
 func (a Approx125) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, error) {
-	fn := func(_ context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
-		return approxComponentOrder(cg, sp, a.SkipTwinElimination, a.Materialize)
+	fn := func(ctx context.Context, cg *graph.Graph, sp *obs.Span) ([]int, error) {
+		return approxComponentOrder(ctx, cg, sp, a.SkipTwinElimination, a.Materialize)
 	}
 	// Two literal call sites so the span name stays a compile-time
 	// constant either way.
@@ -88,7 +88,7 @@ func (a Approx125) SolveContext(ctx context.Context, g *graph.Graph) (core.Schem
 	return solvePerComponent(ctx, g, nameApprox, fn)
 }
 
-func approxComponentOrder(cg *graph.Graph, sp *obs.Span, skipTwins, materialize bool) ([]int, error) {
+func approxComponentOrder(ctx context.Context, cg *graph.Graph, sp *obs.Span, skipTwins, materialize bool) ([]int, error) {
 	lgSpan := sp.Start("line_graph")
 	var lg graph.Adjacency
 	if materialize {
@@ -101,11 +101,11 @@ func approxComponentOrder(cg *graph.Graph, sp *obs.Span, skipTwins, materialize 
 	partSpan := sp.Start("path_partition")
 	pieces, err := pathPartition(lg, skipTwins)
 	partSpan.End()
-	tPathPartition.Observe(obs.Since(partStart))
+	tPathPartition.Observe(ctx, obs.Since(partStart))
 	if err != nil {
 		return nil, err
 	}
-	cPathPieces.Add(int64(len(pieces)))
+	cPathPieces.Add(ctx, int64(len(pieces)))
 	partSpan.SetInt("pieces", int64(len(pieces)))
 	var order []int
 	for _, p := range pieces {

@@ -13,11 +13,11 @@ import (
 // Decide outcome counters: how often each rung of the decision ladder
 // settles a PEBBLE(D) query without paying for the rungs below it.
 var (
-	cDecideCalls       = obs.Default.Counter("solver/decide/calls")
-	cDecideLowerBound  = obs.Default.Counter("solver/decide/by_lower_bound")
-	cDecideUpperBound  = obs.Default.Counter("solver/decide/by_upper_bound")
-	cDecideCertificate = obs.Default.Counter("solver/decide/by_certificate")
-	cDecideExact       = obs.Default.Counter("solver/decide/by_exact")
+	cDecideCalls       = obs.ScopedCounter("solver/decide/calls")
+	cDecideLowerBound  = obs.ScopedCounter("solver/decide/by_lower_bound")
+	cDecideUpperBound  = obs.ScopedCounter("solver/decide/by_upper_bound")
+	cDecideCertificate = obs.ScopedCounter("solver/decide/by_certificate")
+	cDecideExact       = obs.ScopedCounter("solver/decide/by_exact")
 )
 
 // Decide answers PEBBLE(D) of Definition 4.1: given G and an integer K,
@@ -42,8 +42,8 @@ func CertificateLadder() []Solver {
 // DecideContext is Decide bounded by ctx: cancellation is observed
 // between ladder rungs and inside each rung's component pool.
 func DecideContext(ctx context.Context, g *graph.Graph, k int) (bool, error) {
-	cDecideCalls.Inc()
-	sp := obs.StartSpan("decide")
+	cDecideCalls.Inc(ctx)
+	sp := obs.StartSpanCtx(ctx, "decide")
 	defer sp.End()
 	m := g.M()
 	if m == 0 {
@@ -51,12 +51,12 @@ func DecideContext(ctx context.Context, g *graph.Graph, k int) (bool, error) {
 	}
 	// Lemma 2.3 lower bound: π >= m always.
 	if k < m {
-		cDecideLowerBound.Inc()
+		cDecideLowerBound.Inc(ctx)
 		return false, nil
 	}
 	// Theorem 3.1 upper bound: π <= sum of m_i + floor((m_i-1)/4).
 	if k >= ApproxCostBound(g)-core.Betti0(g) {
-		cDecideUpperBound.Inc()
+		cDecideUpperBound.Inc(ctx)
 		return true, nil
 	}
 	// A cheap certificate: if any polynomial solver achieves <= K we are
@@ -67,16 +67,16 @@ func DecideContext(ctx context.Context, g *graph.Graph, k int) (bool, error) {
 			return false, err
 		}
 		if scheme.EffectiveCost(g) <= k {
-			cDecideCertificate.Inc()
+			cDecideCertificate.Inc(ctx)
 			return true, nil
 		}
 	}
-	cDecideExact.Inc()
+	cDecideExact.Inc(ctx)
 	scheme, err := SolveContext(ctx, Exact{}, g)
 	if err != nil {
 		return false, err
 	}
-	cost, err := core.Verify(g, scheme)
+	cost, err := core.VerifyContext(ctx, g, scheme)
 	if err != nil {
 		return false, err
 	}

@@ -15,9 +15,9 @@ import (
 // Auto route counters: which specialized solver the facade's default
 // solver actually dispatched to.
 var (
-	cAutoEquijoin = obs.Default.Counter("solver/auto/equijoin")
-	cAutoExact    = obs.Default.Counter("solver/auto/exact")
-	cAutoApprox   = obs.Default.Counter("solver/auto/approx")
+	cAutoEquijoin = obs.ScopedCounter("solver/auto/equijoin")
+	cAutoExact    = obs.ScopedCounter("solver/auto/exact")
+	cAutoApprox   = obs.ScopedCounter("solver/auto/approx")
 )
 
 // Greedy runs the nearest-neighbour TSP heuristic on each component's
@@ -259,11 +259,11 @@ func (a Auto) SolveContext(ctx context.Context, g *graph.Graph) (core.Scheme, er
 	route := PlanRoute(g, a.ExactLimit)
 	switch route {
 	case RoutePerfect:
-		cAutoEquijoin.Inc()
+		cAutoEquijoin.Inc(ctx)
 	case RouteExact:
-		cAutoExact.Inc()
+		cAutoExact.Inc(ctx)
 	default:
-		cAutoApprox.Inc()
+		cAutoApprox.Inc(ctx)
 	}
 	return SolveContext(ctx, RouteSolver(route, a.ExactLimit), g)
 }

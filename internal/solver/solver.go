@@ -81,12 +81,12 @@ const (
 // once per solve — so instrumentation stays invisible next to the solve
 // itself (the bench regression harness keeps that claim honest).
 var (
-	cSolves           = obs.Default.Counter("solver/solves")
-	cComponentsSolved = obs.Default.Counter("solver/components_solved")
-	cWorkersUsed      = obs.Default.Counter("solver/workers_used")
-	tSplit            = obs.Default.Timer("solver/phase/component_split")
-	tComponentSolve   = obs.Default.Timer("solver/phase/component_solve")
-	tSchemeBuild      = obs.Default.Timer("solver/phase/scheme_build")
+	cSolves           = obs.ScopedCounter("solver/solves")
+	cComponentsSolved = obs.ScopedCounter("solver/components_solved")
+	cWorkersUsed      = obs.ScopedCounter("solver/workers_used")
+	tSplit            = obs.ScopedTimer("solver/phase/component_split")
+	tComponentSolve   = obs.ScopedTimer("solver/phase/component_solve")
+	tSchemeBuild      = obs.ScopedTimer("solver/phase/scheme_build")
 )
 
 // Parallelism bounds the worker pool that solvePerComponent fans
@@ -202,8 +202,8 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cSolves.Inc()
-	root := obs.StartSpan(name)
+	cSolves.Inc(ctx)
+	root := obs.StartSpanCtx(ctx, name)
 	defer root.End()
 	root.SetInt("edges", int64(g.M()))
 
@@ -216,22 +216,22 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 	// own dense-id subgraph; skip the copy.
 	if len(comps) == 1 {
 		splitSpan.End()
-		tSplit.ObserveSince(splitStart)
-		cComponentsSolved.Inc()
-		cWorkersUsed.Inc()
+		tSplit.ObserveSince(ctx, splitStart)
+		cComponentsSolved.Inc(ctx)
+		cWorkersUsed.Inc(ctx)
 		solveStart := obs.Now()
 		compSpan := root.Start("component_solve")
 		compSpan.SetInt("edges", int64(g.M()))
 		order, err := runComponentOrder(ctx, name, g, compSpan, fn)
 		compSpan.End()
-		tComponentSolve.Observe(obs.Since(solveStart))
+		tComponentSolve.Observe(ctx, obs.Since(solveStart))
 		if err != nil {
 			return nil, err
 		}
 		if len(order) != g.M() {
 			return nil, fmt.Errorf("solver: component order covers %d of %d edges", len(order), g.M())
 		}
-		return schemeFromOrderTimed(root, g, order)
+		return schemeFromOrderTimed(ctx, root, g, order)
 	}
 
 	// Bucket vertices and edges by component in one pass each; anything
@@ -272,8 +272,8 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 		jobs = append(jobs, job{ci: ci, cg: cg})
 	}
 	splitSpan.End()
-	tSplit.ObserveSince(splitStart)
-	cComponentsSolved.Add(int64(len(jobs)))
+	tSplit.ObserveSince(ctx, splitStart)
+	cComponentsSolved.Add(ctx, int64(len(jobs)))
 
 	orders := make([][]int, len(jobs))
 	errs := make([]error, len(jobs))
@@ -282,6 +282,10 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 	// checkpoint, queued jobs never start.
 	poolCtx, cancelPool := context.WithCancel(ctx)
 	defer cancelPool()
+	// The pool's component timer resolves once, outside the workers: the
+	// scope (when present) is the same for every job, and resolving here
+	// keeps the per-job cost at one atomic add.
+	compTimer := tComponentSolve.In(ctx)
 	solveJob := func(ji int) {
 		if err := poolCtx.Err(); err != nil {
 			errs[ji] = err
@@ -293,13 +297,13 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 		compSpan.SetInt("edges", int64(jobs[ji].cg.M()))
 		orders[ji], errs[ji] = runComponentOrder(poolCtx, name, jobs[ji].cg, compSpan, fn)
 		compSpan.End()
-		tComponentSolve.Observe(obs.Since(start))
+		compTimer.Observe(obs.Since(start))
 		if errs[ji] != nil {
 			cancelPool()
 		}
 	}
 	w := workerCount(len(jobs))
-	cWorkersUsed.Add(int64(w))
+	cWorkersUsed.Add(ctx, int64(w))
 	if w <= 1 {
 		for ji := range jobs {
 			if poolCtx.Err() != nil {
@@ -360,7 +364,7 @@ func solvePerComponent(ctx context.Context, g *graph.Graph, name string, fn conn
 			globalOrder = append(globalOrder, edgesByComp[jb.ci][li])
 		}
 	}
-	return schemeFromOrderTimed(root, g, globalOrder)
+	return schemeFromOrderTimed(ctx, root, g, globalOrder)
 }
 
 // firstRealError returns the first error in component order that is not
@@ -385,12 +389,12 @@ func firstRealError(errs []error) error {
 
 // schemeFromOrderTimed is core.SchemeFromEdgeOrder wrapped in the
 // scheme_build phase accounting.
-func schemeFromOrderTimed(root *obs.Span, g *graph.Graph, order []int) (core.Scheme, error) {
+func schemeFromOrderTimed(ctx context.Context, root *obs.Span, g *graph.Graph, order []int) (core.Scheme, error) {
 	start := obs.Now()
 	sp := root.Start("scheme_build")
 	scheme, err := core.SchemeFromEdgeOrder(g, order)
 	sp.End()
-	tSchemeBuild.Observe(obs.Since(start))
+	tSchemeBuild.Observe(ctx, obs.Since(start))
 	return scheme, err
 }
 
@@ -419,7 +423,7 @@ func SolveAndVerifyContext(ctx context.Context, s Solver, g *graph.Graph) (core.
 	if err != nil {
 		return nil, 0, fmt.Errorf("solver %s: %w", s.Name(), err)
 	}
-	cost, err := core.Verify(g, scheme)
+	cost, err := core.VerifyContext(ctx, g, scheme)
 	if err != nil {
 		return nil, 0, fmt.Errorf("solver %s produced invalid scheme: %w", s.Name(), err)
 	}

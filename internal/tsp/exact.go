@@ -12,9 +12,12 @@ import (
 // Exact-search effort counters: the intermediate quantities the solvers'
 // exponential bounds talk about, accumulated in locals inside the search
 // loops and flushed once per call so the hot loops stay counter-free.
+// The bindings are scope-aware: searches invoked with a scoped context
+// (an engine solve) flush into their request's obs.Scope; the handle is
+// resolved once per search call, never inside the loops.
 var (
-	cHeldKarpStates = obs.Default.Counter("tsp/heldkarp/states_expanded")
-	cBnBNodes       = obs.Default.Counter("tsp/bnb/nodes_expanded")
+	cHeldKarpStates = obs.ScopedCounter("tsp/heldkarp/states_expanded")
+	cBnBNodes       = obs.ScopedCounter("tsp/bnb/nodes_expanded")
 )
 
 // Fault-injection sites (see the registry in DESIGN.md). Both sit at the
@@ -94,11 +97,11 @@ func ExactContext(ctx context.Context, in *Instance) (Tour, int, error) {
 	for s := 1; s < size; s++ {
 		if s&checkpointMask == 0 {
 			if err := faultinject.Fire(SiteExactExpand); err != nil {
-				cHeldKarpStates.Add(states)
+				cHeldKarpStates.Add(ctx, states)
 				return nil, 0, err
 			}
 			if err := ctx.Err(); err != nil {
-				cHeldKarpStates.Add(states)
+				cHeldKarpStates.Add(ctx, states)
 				return nil, 0, err
 			}
 		}
@@ -123,7 +126,7 @@ func ExactContext(ctx context.Context, in *Instance) (Tour, int, error) {
 		}
 	}
 
-	cHeldKarpStates.Add(states)
+	cHeldKarpStates.Add(ctx, states)
 
 	full := size - 1
 	best, bestEnd := uint16(inf), -1
@@ -243,7 +246,7 @@ func BranchAndBoundContext(ctx context.Context, in *Instance, maxNodes int64) (T
 		path = path[:0]
 		used[s] = false
 	}
-	cBnBNodes.Add(nodes)
+	cBnBNodes.Add(ctx, nodes)
 	return bestTour, bestCost, exhausted
 }
 
