@@ -13,13 +13,16 @@ package bench
 // the only thing that varies between runs.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"joinpebble/internal/core"
+	"joinpebble/internal/engine"
 	"joinpebble/internal/family"
 	"joinpebble/internal/faultinject"
 	"joinpebble/internal/graph"
+	"joinpebble/internal/schemecache"
 	"joinpebble/internal/solver"
 )
 
@@ -113,6 +116,36 @@ func SmokeSuite() []PerfCase {
 				for i := 0; i < b.N; i++ {
 					if !graph.ClawFreeLineGraphScratch(spiderP.Clone(), scratch) {
 						b.Fatal("spider line graph must be claw-free")
+					}
+				}
+			},
+		},
+		{
+			Name: "smoke-canon-fingerprint/spider-200-m400",
+			Run: func(b *testing.B) {
+				sc := graph.NewCanonScratch()
+				for i := 0; i < b.N; i++ {
+					graph.Canonicalize(spider.Clone(), sc)
+				}
+			},
+		},
+		{
+			Name: "smoke-schemecache/hit-spider-200",
+			Run: func(b *testing.B) {
+				p := engine.Planner{Cache: schemecache.New(1<<24, 0)}
+				in := engine.FromBipartite("spider", family.Spider(200))
+				ctx := context.Background()
+				if _, err := p.Run(ctx, in); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := p.Run(ctx, in)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Solver != engine.CachedSolverName {
+						b.Fatal("warm run missed the cache")
 					}
 				}
 			},
@@ -303,6 +336,75 @@ func PerfSuite(legacy bool) []PerfCase {
 				for i := 0; i < b.N; i++ {
 					if err := faultinject.Fire(SiteBenchDisarmed); err != nil {
 						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "canon-fingerprint/spider-1000-m2000",
+			Run: func(b *testing.B) {
+				sc := graph.NewCanonScratch()
+				g := spider.Clone()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					graph.Canonicalize(g, sc)
+				}
+			},
+		},
+		{
+			Name: "canon-fingerprint/bip-60x40-m2400",
+			Run: func(b *testing.B) {
+				sc := graph.NewCanonScratch()
+				g := bip.Clone()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					graph.Canonicalize(g, sc)
+				}
+			},
+		},
+		{
+			// Warm-cache planner run on the spider workload: fingerprint,
+			// shard lookup, translate, re-verify. Compare against the cold
+			// approx125/spider-1000-m2000 series above — the gap is the
+			// latency the scheme cache buys on repeated instances.
+			Name: "schemecache/hit",
+			Run: func(b *testing.B) {
+				p := engine.Planner{Cache: schemecache.New(1<<26, 0)}
+				in := engine.FromBipartite("spider", family.Spider(1000))
+				ctx := context.Background()
+				if _, err := p.Run(ctx, in); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := p.Run(ctx, in)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Solver != engine.CachedSolverName {
+						b.Fatal("warm run missed the cache")
+					}
+				}
+			},
+		},
+		{
+			// Cold cache-on planner run: miss, full solve, canonical insert.
+			// Against approx125/spider-1000-m2000 this prices the cache's
+			// overhead on a solve that gains nothing from it.
+			Name: "schemecache/miss",
+			Run: func(b *testing.B) {
+				in := engine.FromBipartite("spider", family.Spider(1000))
+				ctx := context.Background()
+				var p engine.Planner
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Cache = schemecache.New(1<<26, 0)
+					res, err := p.Run(ctx, in)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Solver == engine.CachedSolverName {
+						b.Fatal("cold run cannot hit")
 					}
 				}
 			},

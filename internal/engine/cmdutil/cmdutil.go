@@ -1,7 +1,7 @@
 // Package cmdutil holds the plumbing every joinpebble command shares:
-// usage-error classification with consistent exit codes, and the
+// usage-error classification with consistent exit codes, the
 // -metrics/-trace/-trace-out/-pprof observability flags with their
-// write-out logic.
+// write-out logic, and the -cache-size/-cache-off scheme-cache knobs.
 // Keeping it beside the engine makes the four CLIs thin adapters over
 // the engine pipeline instead of four diverging copies of the same glue.
 package cmdutil
@@ -13,10 +13,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
+	"joinpebble/internal/engine"
 	"joinpebble/internal/obs"
 	"joinpebble/internal/obs/obshttp"
+	"joinpebble/internal/schemecache"
 )
 
 // UsageError marks a command-line usage mistake (unknown flag value,
@@ -72,32 +76,90 @@ var osExit = os.Exit
 // Obs bundles the observability flags shared by the commands and writes
 // the artifacts out after a run. Zero value = all outputs disabled.
 type Obs struct {
-	cmd      string
-	Metrics  string // -metrics: JSON snapshot path
-	Trace    string // -trace: JSONL span-tree path
-	TraceOut string // -trace-out: per-scope Chrome traces + flight recorder dir
-	PProf    string // -pprof: expvar/pprof listen address
+	cmd       string
+	Metrics   string // -metrics: JSON snapshot path
+	Trace     string // -trace: JSONL span-tree path
+	TraceOut  string // -trace-out: per-scope Chrome traces + flight recorder dir
+	PProf     string // -pprof: expvar/pprof listen address
+	CacheSize string // -cache-size: scheme cache capacity (byte-size string)
+	CacheOff  bool   // -cache-off: disable the scheme cache
 
 	pprofSrv *obshttp.Server // live debug server; drained in Finish
 }
 
-// BindFlags registers the shared observability flags on fs. pprof is
-// only offered to the long-running commands (experiments, bench); the
-// one-shot commands pass withPProf=false.
+// DefaultCacheSize is the scheme cache capacity the CLIs run with
+// unless -cache-size overrides it.
+const DefaultCacheSize = "64MiB"
+
+// BindFlags registers the shared observability and scheme-cache flags
+// on fs. pprof is only offered to the long-running commands
+// (experiments, bench); the one-shot commands pass withPProf=false.
 func BindFlags(fs *flag.FlagSet, cmd string, withPProf bool) *Obs {
 	o := &Obs{cmd: cmd}
 	fs.StringVar(&o.Metrics, "metrics", "", "write the metrics snapshot as JSON to this file")
 	fs.StringVar(&o.Trace, "trace", "", "write the span trace as JSONL to this file")
 	fs.StringVar(&o.TraceOut, "trace-out", "", "write per-solve Chrome traces and flightrecorder.json into this directory")
+	fs.StringVar(&o.CacheSize, "cache-size", DefaultCacheSize, "scheme cache capacity in bytes (KB/MB/GB or KiB/MiB/GiB suffixes)")
+	fs.BoolVar(&o.CacheOff, "cache-off", false, "disable the scheme cache (every solve runs cold)")
 	if withPProf {
 		fs.StringVar(&o.PProf, "pprof", "", "serve net/http/pprof and expvar on this address")
 	}
 	return o
 }
 
-// Start installs the tracer and pprof server the parsed flags ask for.
-// Call it right after flag parsing, before any instrumented work.
+// ParseByteSize parses a human byte-size string: a non-negative number
+// with an optional KB/MB/GB (decimal) or KiB/MiB/GiB (binary) suffix,
+// or a bare byte count. Case-insensitive; "B" is accepted as bytes.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"B", 1},
+	} {
+		if strings.HasSuffix(upper, u.suffix) {
+			mult = u.mult
+			t = strings.TrimSpace(t[:len(t)-len(u.suffix)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	return n * mult, nil
+}
+
+// installCache installs (or clears) the process-wide scheme cache the
+// engine's planners fall back to, per the parsed cache flags.
+func (o *Obs) installCache() error {
+	if o.CacheOff {
+		engine.SetSharedCache(nil)
+		return nil
+	}
+	size, err := ParseByteSize(o.CacheSize)
+	if err != nil {
+		return Usagef("-cache-size: %v", err)
+	}
+	if size == 0 {
+		engine.SetSharedCache(nil)
+		return nil
+	}
+	engine.SetSharedCache(schemecache.New(size, 0))
+	return nil
+}
+
+// Start installs the scheme cache, tracer, and pprof server the parsed
+// flags ask for. Call it right after flag parsing, before any
+// instrumented work.
 func (o *Obs) Start() error {
+	if err := o.installCache(); err != nil {
+		return err
+	}
 	if o.PProf != "" {
 		srv, err := obshttp.Start(o.PProf)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 	"joinpebble/internal/faultinject"
 	"joinpebble/internal/graph"
 	"joinpebble/internal/obs"
+	"joinpebble/internal/schemecache"
 	"joinpebble/internal/solver"
 )
 
@@ -89,6 +90,22 @@ type Planner struct {
 	// with a budget, deadline, panic, or structure error. The zero
 	// value degrades down the ladder (exact → approx → naive).
 	Degrade DegradePolicy
+	// Cache, when non-nil, is the scheme cache consulted before the
+	// planned rung and filled after undegraded solves. When nil, Run
+	// falls back to the process-wide cache installed via
+	// SetSharedCache; if neither exists, runs are cache-free (the
+	// zero-value Planner in a test process stays byte-identical to the
+	// pre-cache engine).
+	Cache *schemecache.Cache
+}
+
+// cacheFor resolves the cache a run uses: the Planner's own, else the
+// shared one, else none.
+func (p *Planner) cacheFor() *schemecache.Cache {
+	if p.Cache != nil {
+		return p.Cache
+	}
+	return SharedCache()
 }
 
 // Plan is a routing decision: the rung, the solver implementing it, and
@@ -137,18 +154,7 @@ func (p *Planner) plan(ctx context.Context, in *Instance) Plan {
 	return Plan{
 		Route:  route,
 		Solver: solver.RouteSolver(route, p.ExactLimit),
-		Reason: routeReason(route),
-	}
-}
-
-func routeReason(r solver.Route) string {
-	switch r {
-	case solver.RoutePerfect:
-		return "all components complete bipartite (Thm 4.1)"
-	case solver.RouteExact:
-		return "every component within the exact search budget"
-	default:
-		return "1.25-approximation (Thm 3.1)"
+		Reason: solver.RouteReason(route),
 	}
 }
 
@@ -242,7 +248,13 @@ func (p *Planner) Run(ctx context.Context, in *Instance) (*Result, error) {
 	return res, nil
 }
 
-// run is the scope-carrying body of Run: ctx always holds sc here.
+// run is the scope-carrying body of Run: ctx always holds sc here. The
+// ladder is assembled as data — an optional cache rung, the planned
+// solver, then the universal fallbacks — and handed to
+// solver.WalkLadder, which owns per-rung deadlines and failure
+// classification; the record hook below is the single place attempt
+// provenance (Result.Attempts, scope events, degradation counters and
+// flags) is written.
 func (p *Planner) run(ctx context.Context, in *Instance, sc *obs.Scope) (*Result, error) {
 	cRuns.Inc(ctx)
 	start := obs.Now()
@@ -255,49 +267,118 @@ func (p *Planner) run(ctx context.Context, in *Instance, sc *obs.Scope) (*Result
 	sp.SetInt("edges", int64(g.M()))
 	sp.SetInt("route", int64(plan.Route))
 
-	ladder := p.ladder(plan)
+	cs := cacheState{cache: p.cacheFor()}
+	rungs := p.ladder(ctx, in, plan, g, &cs)
+
 	var attempts []Attempt
-	for i, s := range ladder {
-		final := i == len(ladder)-1
-		rungCtx, cancel := p.rungContext(ctx, final)
-		rungStart := obs.Now()
-		var scheme core.Scheme
-		var cost int
-		var err error
-		// Profiling labels per rung: a CPU profile taken during a solve
-		// attributes samples to the phase/family/rung that burned them.
-		pprof.Do(rungCtx, pprof.Labels("phase", "solve", "family", in.Family, "rung", s.Name()), func(ctx context.Context) {
-			scheme, cost, err = attemptRung(ctx, s, g)
-		})
-		cancel()
-		if err == nil {
-			attempts = append(attempts, Attempt{Solver: s.Name(), Elapsed: obs.Since(rungStart)})
-			sc.Event("rung/"+s.Name(), "", obs.Since(rungStart))
-			res := p.assemble(ctx, in, plan, g, s.Name(), scheme, cost, start)
-			res.Attempts = attempts
-			res.Degraded = i > 0
-			if res.Degraded {
-				cDegradedRuns.Inc(ctx)
-				sc.Flag(obs.FlagDegraded)
-			}
-			return res, nil
+	degraded := 0
+	record := func(o solver.RungOutcome) {
+		if o.Err == nil {
+			attempts = append(attempts, Attempt{Solver: o.Name, Elapsed: o.Elapsed})
+			sc.Event("rung/"+o.Name, "", o.Elapsed)
+			return
 		}
-		attempts = append(attempts, Attempt{Solver: s.Name(), Err: err.Error(), Elapsed: obs.Since(rungStart)})
-		sc.Event("rung/"+s.Name(), err.Error(), obs.Since(rungStart))
-		if errors.Is(err, solver.ErrPanic) {
+		sc.Event("rung/"+o.Name, o.Err.Error(), o.Elapsed)
+		if o.Optional {
+			// A cache miss is not an attempt: the run's provenance
+			// stays planned-rung-first, and the miss never counts as
+			// degradation.
+			return
+		}
+		attempts = append(attempts, Attempt{Solver: o.Name, Err: o.Err.Error(), Elapsed: o.Elapsed})
+		if errors.Is(o.Err, solver.ErrPanic) {
 			sc.Flag(obs.FlagPanic)
 		}
-		if p.Degrade.Off || final || !countDegradation(ctx, err) {
-			sc.Flag(obs.FlagError)
-			sc.Note("error", err.Error())
-			return nil, fmt.Errorf("engine: %s via %s: %w", in.Family, s.Name(), err)
+		if !o.Absorbed {
+			return
 		}
-		sp.SetInt("degraded", int64(i+1))
+		switch o.Cause {
+		case solver.CauseBudget:
+			cDegradedBudget.Inc(ctx)
+		case solver.CauseDeadline:
+			cDegradedDeadline.Inc(ctx) // a rung soft deadline, caller still live
+		case solver.CausePanic:
+			cDegradedPanic.Inc(ctx)
+		case solver.CauseStructure:
+			cDegradedStructure.Inc(ctx)
+		}
+		degraded++
+		sp.SetInt("degraded", int64(degraded))
 	}
-	panic("engine: empty solver ladder") // ladder always has >= 1 rung
+
+	wr, err := solver.WalkLadder(ctx, rungs, solver.LadderPolicy{Off: p.Degrade.Off, RungFraction: p.Degrade.RungFraction}, record)
+	if err != nil {
+		sc.Flag(obs.FlagError)
+		var re *solver.RungError
+		if errors.As(err, &re) {
+			sc.Note("error", re.Err.Error())
+			return nil, fmt.Errorf("engine: %s via %s: %w", in.Family, re.Rung, re.Err)
+		}
+		sc.Note("error", err.Error())
+		return nil, fmt.Errorf("engine: %s: %w", in.Family, err)
+	}
+
+	quality := qualityFor(wr.Rung)
+	if wr.Rung == CachedSolverName {
+		quality = "cached: " + qualityFor(cs.entry.Solver)
+	} else if cs.cache != nil && wr.Degraded == 0 {
+		cs.insert(ctx, g, wr.Rung, wr.Scheme, wr.Cost)
+	}
+	res := p.assemble(ctx, in, plan, g, wr.Rung, quality, wr.Scheme, wr.Cost, start)
+	res.Attempts = attempts
+	res.Degraded = wr.Degraded > 0
+	if res.Degraded {
+		cDegradedRuns.Inc(ctx)
+		sc.Flag(obs.FlagDegraded)
+	}
+	return res, nil
 }
 
-// attemptRung is one ladder rung: the SiteRung fault hook, then the
+// ladder assembles the run's rung descriptors: the cache rung (when a
+// cache is configured), the planned (or explicitly chosen) solver, and
+// — unless degradation is off — the Theorem 3.1 approximation and the
+// Lemma 2.1 naive scheme, each guaranteed to exist for any graph, so a
+// non-strict run can always complete. Solver rungs fire the SiteRung
+// fault hook and run under pprof labels; the cache rung is optional —
+// its miss falls through silently.
+func (p *Planner) ladder(ctx context.Context, in *Instance, plan Plan, g *graph.Graph, cs *cacheState) []solver.Rung {
+	rungs := make([]solver.Rung, 0, 4)
+	if cs.cache != nil {
+		rungs = append(rungs, solver.Rung{
+			Name:     CachedSolverName,
+			Optional: true,
+			Attempt: func(ctx context.Context) (core.Scheme, int, error) {
+				return cs.attempt(ctx, in, plan, g)
+			},
+		})
+	}
+	solverRung := func(s solver.Solver) solver.Rung {
+		return solver.Rung{
+			Name: s.Name(),
+			Attempt: func(rctx context.Context) (scheme core.Scheme, cost int, err error) {
+				// Profiling labels per rung: a CPU profile taken during
+				// a solve attributes samples to the phase/family/rung
+				// that burned them.
+				pprof.Do(rctx, pprof.Labels("phase", "solve", "family", in.Family, "rung", s.Name()), func(ctx context.Context) {
+					scheme, cost, err = attemptRung(ctx, s, g)
+				})
+				return
+			},
+		}
+	}
+	rungs = append(rungs, solverRung(plan.Solver))
+	if p.Degrade.Off {
+		return rungs
+	}
+	for _, fb := range []solver.Solver{solver.Approx125{}, solver.Naive{}} {
+		if fb.Name() != plan.Solver.Name() {
+			rungs = append(rungs, solverRung(fb))
+		}
+	}
+	return rungs
+}
+
+// attemptRung is one solver rung: the SiteRung fault hook, then the
 // solve + simulator verification.
 func attemptRung(ctx context.Context, s solver.Solver, g *graph.Graph) (core.Scheme, int, error) {
 	if err := faultinject.Fire(SiteRung); err != nil {
@@ -306,78 +387,15 @@ func attemptRung(ctx context.Context, s solver.Solver, g *graph.Graph) (core.Sch
 	return solver.SolveAndVerifyContext(ctx, s, g)
 }
 
-// ladder returns the rungs Run tries in order: the planned (or
-// explicitly chosen) solver, then the Theorem 3.1 approximation, then
-// the Lemma 2.1 naive scheme — each guaranteed to exist for any graph,
-// so a non-strict run can always complete.
-func (p *Planner) ladder(plan Plan) []solver.Solver {
-	out := []solver.Solver{plan.Solver}
-	if p.Degrade.Off {
-		return out
-	}
-	for _, fb := range []solver.Solver{solver.Approx125{}, solver.Naive{}} {
-		if fb.Name() != plan.Solver.Name() {
-			out = append(out, fb)
-		}
-	}
-	return out
-}
-
-// rungContext carves a non-final rung's soft deadline out of the
-// caller's remaining budget: RungFraction (default half) of the time
-// left, so every lower rung keeps a share and the final rung gets
-// whatever remains. Callers without a deadline run each rung unbounded.
-func (p *Planner) rungContext(ctx context.Context, final bool) (context.Context, context.CancelFunc) {
-	if final || p.Degrade.Off {
-		return ctx, func() {}
-	}
-	dl, ok := ctx.Deadline()
-	if !ok {
-		return ctx, func() {}
-	}
-	remaining := obs.Until(dl)
-	if remaining <= 0 {
-		return ctx, func() {}
-	}
-	frac := p.Degrade.RungFraction
-	if frac <= 0 || frac >= 1 {
-		frac = 0.5
-	}
-	return context.WithDeadline(ctx, obs.Now().Add(time.Duration(float64(remaining)*frac)))
-}
-
-// countDegradation reports whether err is a failure the ladder absorbs,
-// bumping the matching engine/plan/degraded_* counter. The caller's own
-// cancellation or expired deadline is never absorbed: lower rungs would
-// inherit a dead context, and the caller asked to stop.
-func countDegradation(ctx context.Context, err error) bool {
-	if ctx.Err() != nil {
-		return false
-	}
-	switch {
-	case errors.Is(err, solver.ErrBudgetExceeded):
-		cDegradedBudget.Inc(ctx)
-	case errors.Is(err, context.DeadlineExceeded):
-		cDegradedDeadline.Inc(ctx) // a rung soft deadline, caller still live
-	case errors.Is(err, solver.ErrPanic):
-		cDegradedPanic.Inc(ctx)
-	case errors.Is(err, solver.ErrStructure):
-		cDegradedStructure.Inc(ctx)
-	default:
-		return false
-	}
-	return true
-}
-
 // assemble builds the Result for the rung that produced the scheme.
-func (p *Planner) assemble(ctx context.Context, in *Instance, plan Plan, g *graph.Graph, solverName string, scheme core.Scheme, cost int, start time.Time) *Result {
+func (p *Planner) assemble(ctx context.Context, in *Instance, plan Plan, g *graph.Graph, solverName, quality string, scheme core.Scheme, cost int, start time.Time) *Result {
 	eff := scheme.EffectiveCost(g)
 	res := &Result{
 		Family:        in.Family,
 		Route:         plan.Route,
 		Solver:        solverName,
 		Reason:        plan.Reason,
-		Quality:       qualityFor(solverName),
+		Quality:       quality,
 		Scheme:        scheme,
 		Cost:          cost,
 		EffectiveCost: eff,

@@ -1,0 +1,325 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"joinpebble/internal/graph"
+)
+
+// buildSpider returns the spider S_k join graph the repo's family
+// package generates: a center vertex, k middle vertices, k leaves —
+// inner edges center–middle, outer edges middle–leaf.
+func buildSpider(k int) *graph.Graph {
+	g := graph.New(1 + 2*k)
+	for i := 0; i < k; i++ {
+		g.AddEdge(0, 1+2*i)
+		g.AddEdge(1+2*i, 2+2*i)
+	}
+	return g
+}
+
+// permuted rebuilds g under a random vertex relabeling with shuffled
+// edge-insertion order, so both the labeling and the edge indexing
+// differ from the original.
+func permuted(rng *rand.Rand, g *graph.Graph) *graph.Graph {
+	n := g.N()
+	pi := rng.Perm(n)
+	h := graph.New(n)
+	order := rng.Perm(g.M())
+	for _, i := range order {
+		e := g.EdgeAt(i)
+		h.AddEdge(pi[e.U], pi[e.V])
+	}
+	return h
+}
+
+// corpus returns the generator sweep the cache targets: spiders,
+// complete/random bipartite graphs, cycles, paths, and line graphs.
+func corpus(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	return map[string]*graph.Graph{
+		"spider-5":      buildSpider(5),
+		"spider-40":     buildSpider(40),
+		"complete-3x7":  graph.CompleteBipartite(3, 7).Graph(),
+		"complete-5x5":  graph.CompleteBipartite(5, 5).Graph(),
+		"cycle-12":      graph.CycleBipartite(12).Graph(),
+		"path-9":        graph.PathBipartite(9).Graph(),
+		"matching-6":    graph.Matching(6).Graph(),
+		"random-8x6":    graph.RandomConnectedBipartite(rng, 8, 6, 20).Graph(),
+		"random-12x9":   graph.RandomConnectedBipartite(rng, 12, 9, 30).Graph(),
+		"line-spider-7": graph.LineGraph(buildSpider(7)),
+		"line-cycle-10": graph.LineGraph(graph.CycleBipartite(10).Graph()),
+		"empty":         graph.New(4),
+	}
+}
+
+// TestFingerprintPermutationInvariance: for every corpus graph, random
+// relabelings (with shuffled edge order) fingerprint identically to the
+// original — the completeness half of the cache-key contract.
+func TestFingerprintPermutationInvariance(t *testing.T) {
+	sc := graph.NewCanonScratch()
+	for name, g := range corpus(t) {
+		_, want := graph.Canonicalize(g, sc)
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 8; trial++ {
+			h := permuted(rng, g)
+			_, got := graph.Canonicalize(h, sc)
+			if got != want {
+				t.Errorf("%s trial %d: permuted fingerprint %v != original %v", name, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalEdgeListsAgree: the canonical labelings of a graph and
+// its permutation map both edge lists onto the same canonical edge set,
+// which is the property scheme translation rests on.
+func TestCanonicalEdgeListsAgree(t *testing.T) {
+	for name, g := range corpus(t) {
+		rng := rand.New(rand.NewSource(23))
+		h := permuted(rng, g)
+		pg, _ := graph.Canonicalize(g, nil)
+		ph, _ := graph.Canonicalize(h, nil)
+		canon := func(g *graph.Graph, perm []int32) map[graph.Edge]bool {
+			out := make(map[graph.Edge]bool, g.M())
+			for i := 0; i < g.M(); i++ {
+				e := g.EdgeAt(i)
+				out[graph.Edge{U: int(perm[e.U]), V: int(perm[e.V])}.Normalize()] = true
+			}
+			return out
+		}
+		cg, ch := canon(g, pg), canon(h, ph)
+		if len(cg) != len(ch) {
+			t.Fatalf("%s: canonical edge counts differ: %d vs %d", name, len(cg), len(ch))
+		}
+		for e := range cg {
+			if !ch[e] {
+				t.Errorf("%s: canonical edge %v missing from permuted labeling", name, e)
+			}
+		}
+	}
+}
+
+// TestCanonicalizePermIsBijection: the labeling is a permutation of
+// 0..n-1.
+func TestCanonicalizePermIsBijection(t *testing.T) {
+	for name, g := range corpus(t) {
+		perm, _ := graph.Canonicalize(g, nil)
+		if len(perm) != g.N() {
+			t.Fatalf("%s: perm length %d, want %d", name, len(perm), g.N())
+		}
+		seen := make([]bool, g.N())
+		for v, id := range perm {
+			if id < 0 || int(id) >= g.N() || seen[id] {
+				t.Fatalf("%s: perm[%d] = %d is not a fresh id in range", name, v, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// nearMissPairs are non-isomorphic pairs with identical degree
+// sequences — the inputs a degree-histogram hash would conflate.
+func nearMissPairs() map[string][2]*graph.Graph {
+	// C6 vs two triangles: all vertices degree 2.
+	c6 := graph.New(6)
+	for i := 0; i < 6; i++ {
+		c6.AddEdge(i, (i+1)%6)
+	}
+	twoC3 := graph.New(6)
+	twoC3.AddEdge(0, 1)
+	twoC3.AddEdge(1, 2)
+	twoC3.AddEdge(2, 0)
+	twoC3.AddEdge(3, 4)
+	twoC3.AddEdge(4, 5)
+	twoC3.AddEdge(5, 3)
+
+	// Two trees with degree sequence [3,2,2,2,1,1,1]: the subdivided
+	// claw (diameter 4) vs a caterpillar (diameter 5).
+	claw2 := graph.New(7)
+	claw2.AddEdge(0, 1)
+	claw2.AddEdge(1, 2)
+	claw2.AddEdge(0, 3)
+	claw2.AddEdge(3, 4)
+	claw2.AddEdge(0, 5)
+	claw2.AddEdge(5, 6)
+	caterpillar := graph.New(7)
+	caterpillar.AddEdge(0, 1)
+	caterpillar.AddEdge(1, 2)
+	caterpillar.AddEdge(2, 3)
+	caterpillar.AddEdge(3, 4)
+	caterpillar.AddEdge(4, 5)
+	caterpillar.AddEdge(1, 6)
+
+	// C8 vs C4 ⊔ C4: degree-2 everywhere, different component shape.
+	c8 := graph.New(8)
+	for i := 0; i < 8; i++ {
+		c8.AddEdge(i, (i+1)%8)
+	}
+	twoC4 := graph.New(8)
+	for base := 0; base < 8; base += 4 {
+		for i := 0; i < 4; i++ {
+			twoC4.AddEdge(base+i, base+(i+1)%4)
+		}
+	}
+	return map[string][2]*graph.Graph{
+		"c6-vs-2c3":          {c6, twoC3},
+		"claw2-vs-caterpill": {claw2, caterpillar},
+		"c8-vs-2c4":          {c8, twoC4},
+	}
+}
+
+// TestFingerprintNearMissDistinct: same degree sequence, different
+// structure, distinct fingerprints — and stably so under relabeling of
+// either side.
+func TestFingerprintNearMissDistinct(t *testing.T) {
+	sc := graph.NewCanonScratch()
+	for name, pair := range nearMissPairs() {
+		a, b := pair[0], pair[1]
+		da, db := a.DegreeSequence(), b.DegreeSequence()
+		if len(da) != len(db) {
+			t.Fatalf("%s: test bug — degree sequences differ in length", name)
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("%s: test bug — degree sequences differ, not a near-miss pair", name)
+			}
+		}
+		fa := graph.CanonicalFingerprint(a, sc)
+		fb := graph.CanonicalFingerprint(b, sc)
+		if fa == fb {
+			t.Errorf("%s: non-isomorphic graphs share fingerprint %v", name, fa)
+		}
+		rng := rand.New(rand.NewSource(3))
+		if got := graph.CanonicalFingerprint(permuted(rng, b), sc); got != fb {
+			t.Errorf("%s: relabeled second graph fingerprints %v, want %v", name, got, fb)
+		}
+	}
+}
+
+// TestFingerprintMixSeparates: the same structure under different
+// family salts keys differently, and Mix is deterministic.
+func TestFingerprintMixSeparates(t *testing.T) {
+	fp := graph.CanonicalFingerprint(buildSpider(4), nil)
+	a := fp.Mix(1, 2)
+	b := fp.Mix(1, 3)
+	if a == b {
+		t.Fatalf("different salts must separate: %v", a)
+	}
+	if a != fp.Mix(1, 2) {
+		t.Fatalf("Mix must be deterministic")
+	}
+	if a == fp {
+		t.Fatalf("Mix must change the fingerprint")
+	}
+}
+
+// TestCanonScratchReuse: one scratch reused across differently-sized
+// graphs reproduces fresh-scratch results exactly.
+func TestCanonScratchReuse(t *testing.T) {
+	sc := graph.NewCanonScratch()
+	graphs := corpus(t)
+	for round := 0; round < 3; round++ {
+		for name, g := range graphs {
+			_, reused := graph.Canonicalize(g, sc)
+			_, fresh := graph.Canonicalize(g, graph.NewCanonScratch())
+			if reused != fresh {
+				t.Fatalf("%s round %d: reused scratch %v != fresh %v", name, round, reused, fresh)
+			}
+		}
+	}
+}
+
+// FuzzCanonPermutation drives the fingerprint contract over generated
+// instances. For the structured families the cache targets (spiders,
+// complete bipartite, cycles/paths, line graphs) a random relabeling
+// must fingerprint identically — the completeness half. Arbitrary
+// random bipartite graphs are included for soundness coverage only:
+// the labeling must stay a bijection, the canonical edge lists of a
+// graph and its permutation must agree whenever the fingerprints do,
+// and repeated calls must be deterministic — but two relabelings may
+// fingerprint apart (a cache miss, never a wrong hit), because 1-WL
+// refinement plus assigned-neighborhood tie-breaking does not resolve
+// every WL-equivalent non-automorphic tie in arbitrary graphs.
+func FuzzCanonPermutation(f *testing.F) {
+	f.Add(uint8(0), uint8(5), uint8(4), int64(1))
+	f.Add(uint8(1), uint8(3), uint8(7), int64(2))
+	f.Add(uint8(2), uint8(8), uint8(6), int64(3))
+	f.Add(uint8(3), uint8(6), uint8(0), int64(4))
+	f.Add(uint8(4), uint8(9), uint8(2), int64(5))
+	f.Add(uint8(5), uint8(4), uint8(4), int64(6))
+	f.Fuzz(func(t *testing.T, kind, a, b uint8, seed int64) {
+		na := 2 + int(a)%10
+		nb := 2 + int(b)%10
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		structured := true
+		switch kind % 6 {
+		case 0:
+			g = buildSpider(na)
+		case 1:
+			g = graph.CompleteBipartite(na, nb).Graph()
+		case 2:
+			lo, hi := na+nb-1, na*nb
+			m := lo + int(uint64(seed)%uint64(hi-lo+1))
+			g = graph.RandomConnectedBipartite(rng, na, nb, m).Graph()
+			structured = false
+		case 3:
+			g = graph.LineGraph(graph.CycleBipartite(2 * (na + 2)).Graph())
+		case 4:
+			g = graph.PathBipartite(na + nb).Graph()
+		case 5:
+			g = graph.Matching(na).Graph()
+		}
+		permG, want := graph.Canonicalize(g, nil)
+		if _, again := graph.Canonicalize(g, nil); again != want {
+			t.Fatalf("kind %d: fingerprint not deterministic: %v then %v", kind%6, want, again)
+		}
+		h := permuted(rng, g)
+		permH, got := graph.Canonicalize(h, nil)
+		checkBijection(t, permG, g.N())
+		checkBijection(t, permH, h.N())
+		if structured && got != want {
+			t.Fatalf("kind %d n=(%d,%d) seed %d: permuted fingerprint %v != %v", kind%6, na, nb, seed, got, want)
+		}
+		if got == want {
+			// Equal fingerprints must mean equal canonical edge sets —
+			// the soundness half, for every kind.
+			eg := canonEdges(g, permG)
+			eh := canonEdges(h, permH)
+			if len(eg) != len(eh) {
+				t.Fatalf("kind %d: fingerprints equal but edge counts differ", kind%6)
+			}
+			for e := range eg {
+				if !eh[e] {
+					t.Fatalf("kind %d: fingerprints equal but canonical edge %v differs", kind%6, e)
+				}
+			}
+		}
+	})
+}
+
+func checkBijection(t *testing.T, perm []int32, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for v, id := range perm {
+		if id < 0 || int(id) >= n || seen[id] {
+			t.Fatalf("perm[%d] = %d is not a fresh id in range", v, id)
+		}
+		seen[id] = true
+	}
+}
+
+func canonEdges(g *graph.Graph, perm []int32) map[graph.Edge]bool {
+	out := make(map[graph.Edge]bool, g.M())
+	for i := 0; i < g.M(); i++ {
+		e := g.EdgeAt(i)
+		out[graph.Edge{U: int(perm[e.U]), V: int(perm[e.V])}.Normalize()] = true
+	}
+	return out
+}

@@ -201,38 +201,26 @@ func (r Route) String() string {
 	return fmt.Sprintf("route(%d)", int(r))
 }
 
-// PlanRoute classifies g onto the ladder. exactLimit caps the exact
-// rung's per-component edge count; zero means tsp.MaxExactCities. The
-// classification is purely structural (no solving happens), costing one
-// bipartition check plus one component scan.
+// PlanRoute classifies g onto the ladder by walking RouteTable in
+// order. exactLimit caps the exact rung's per-component edge count;
+// zero means tsp.MaxExactCities. The classification is purely
+// structural (no solving happens), costing one bipartition check plus
+// one component scan.
 func PlanRoute(g *graph.Graph, exactLimit int) Route {
-	if IsEquijoinGraph(g) {
-		return RoutePerfect
-	}
-	if exactLimit == 0 {
-		exactLimit = tsp.MaxExactCities
-	}
-	for _, m := range componentEdgeCounts(g) {
-		if m > exactLimit {
-			return RouteApprox
+	exactLimit = normalizeExactLimit(exactLimit)
+	table := RouteTable()
+	for _, spec := range table {
+		if spec.Applies(g, exactLimit) {
+			return spec.Route
 		}
 	}
-	return RouteExact
+	return table[len(table)-1].Route
 }
 
-// RouteSolver returns the solver implementing a ladder rung.
+// RouteSolver returns the solver implementing a ladder rung, from the
+// same table PlanRoute classifies with.
 func RouteSolver(r Route, exactLimit int) Solver {
-	if exactLimit == 0 {
-		exactLimit = tsp.MaxExactCities
-	}
-	switch r {
-	case RoutePerfect:
-		return Equijoin{}
-	case RouteExact:
-		return Exact{MaxEdges: exactLimit}
-	default:
-		return Approx125{}
-	}
+	return routeSpec(r).New(normalizeExactLimit(exactLimit))
 }
 
 // Auto picks the best applicable solver: the linear-time perfect pebbler
