@@ -54,16 +54,21 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			fn := analysis.CalleeFunc(info, call)
-			isFire := analysis.FuncIs(fn, faultinjectPath, "", "Fire")
-			isArm := analysis.FuncIs(fn, faultinjectPath, "", "Arm")
-			if (!isFire && !isArm) || len(call.Args) < 1 {
-				return true
-			}
-			verb := "Fire"
-			if isArm {
+			// The site name is argument 0 for Fire/Arm and argument 1 for
+			// FireContext (the context comes first there).
+			verb, nameArg := "", 0
+			switch {
+			case analysis.FuncIs(fn, faultinjectPath, "", "Fire"):
+				verb = "Fire"
+			case analysis.FuncIs(fn, faultinjectPath, "", "FireContext"):
+				verb, nameArg = "FireContext", 1
+			case analysis.FuncIs(fn, faultinjectPath, "", "Arm"):
 				verb = "Arm"
 			}
-			arg := ast.Unparen(call.Args[0])
+			if verb == "" || len(call.Args) <= nameArg {
+				return true
+			}
+			arg := ast.Unparen(call.Args[nameArg])
 			obj, _ := analysis.UsedObject(info, arg).(*types.Const)
 			if obj == nil || !analysis.IsPackageLevel(obj) {
 				pass.Reportf(arg.Pos(), "faultinject.%s site must be a named package-level constant, not an inline value", verb)

@@ -1,7 +1,11 @@
 // Package siteregfix exercises every sitereg rule.
 package siteregfix
 
-import "joinpebble/internal/faultinject"
+import (
+	"context"
+
+	"joinpebble/internal/faultinject"
+)
 
 const (
 	// SiteGood reuses a registered site value; in the fixture set it is
@@ -38,4 +42,16 @@ func fireDups() {
 
 func armLiteral() {
 	faultinject.Arm("fixture/armed", faultinject.Fault{}) // want `faultinject\.Arm site must be a named package-level constant`
+}
+
+func fireContextGood(ctx context.Context) error {
+	return faultinject.FireContext(ctx, SiteGood)
+}
+
+func fireContextLiteral(ctx context.Context) error {
+	return faultinject.FireContext(ctx, "fixture/ctx-inline") // want `faultinject\.FireContext site must be a named package-level constant`
+}
+
+func fireContextUnregistered(ctx context.Context) error {
+	return faultinject.FireContext(ctx, SiteUnregistered) // want `faultinject site "fixture/unregistered" is not in DESIGN\.md's site registry`
 }

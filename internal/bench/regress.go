@@ -49,7 +49,11 @@ type Report struct {
 	// Smoke marks a reduced-size kernel smoke run (cmd/bench -smoke).
 	// Smoke reports use distinct series names and are never auto-picked
 	// as baselines.
-	Smoke  bool     `json:"smoke,omitempty"`
+	Smoke bool `json:"smoke,omitempty"`
+	// Serve marks a service-level load-generator report (cmd/loadgen):
+	// end-to-end HTTP latencies and outcome fractions, not kernel
+	// timings. Serve reports are never auto-picked as baselines.
+	Serve  bool     `json:"serve,omitempty"`
 	Series []Series `json:"series"`
 	// Metrics is the instrumentation snapshot taken after the suite ran —
 	// counters like pebble acquisitions and claw checks alongside the
@@ -101,7 +105,8 @@ func LoadReport(path string) (*Report, error) {
 	return &r, nil
 }
 
-// LatestReport finds the most recent non-legacy, non-smoke BENCH_*.json
+// LatestReport finds the most recent non-legacy, non-smoke, non-serve
+// BENCH_*.json
 // in dir,
 // excluding the file named skip (the report about to be written). File
 // names sort chronologically because the date is zero-padded ISO. It
@@ -121,7 +126,7 @@ func LatestReport(dir, skip string) (string, *Report, error) {
 		if err != nil {
 			return "", nil, err
 		}
-		if r.Legacy || r.Smoke {
+		if r.Legacy || r.Smoke || r.Serve {
 			continue
 		}
 		return path, r, nil

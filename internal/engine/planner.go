@@ -379,9 +379,11 @@ func (p *Planner) ladder(ctx context.Context, in *Instance, plan Plan, g *graph.
 }
 
 // attemptRung is one solver rung: the SiteRung fault hook, then the
-// solve + simulator verification.
+// solve + simulator verification. The fault fires under the rung's
+// context, so an injected delay is cut short by the rung's soft
+// deadline (or the caller's cancellation) like any real slow solve.
 func attemptRung(ctx context.Context, s solver.Solver, g *graph.Graph) (core.Scheme, int, error) {
-	if err := faultinject.Fire(SiteRung); err != nil {
+	if err := faultinject.FireContext(ctx, SiteRung); err != nil {
 		return nil, 0, err
 	}
 	return solver.SolveAndVerifyContext(ctx, s, g)

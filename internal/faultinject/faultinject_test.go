@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -139,5 +140,44 @@ func BenchmarkDisarmedFire(b *testing.B) {
 		if err := Fire("solver/component"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestDelaySelectsOnContext(t *testing.T) {
+	defer Reset()
+	// An injected delay far longer than the test budget must be cut
+	// short the moment the request context is cancelled: the regression
+	// this pins is a Delay fault holding a cancelled request's handler
+	// for the full injected duration.
+	Arm("site/delay", Fault{Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- FireContext(ctx, "site/delay") }()
+	time.Sleep(10 * time.Millisecond) // let the goroutine enter the delay
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled FireContext returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("FireContext still blocked long after cancellation; delay is not selecting on ctx")
+	}
+	if got := Fired("site/delay"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestDelayCompletesUnderLiveContext(t *testing.T) {
+	defer Reset()
+	Arm("site/delay", Fault{Delay: time.Millisecond, Err: errors.New("after delay")})
+	if err := FireContext(context.Background(), "site/delay"); err == nil || err.Error() != "after delay" {
+		t.Fatalf("FireContext = %v, want the armed error after the delay", err)
+	}
+}
+
+func TestFireContextDisarmedIsNil(t *testing.T) {
+	if err := FireContext(context.Background(), "nowhere"); err != nil {
+		t.Fatalf("disarmed FireContext returned %v", err)
 	}
 }

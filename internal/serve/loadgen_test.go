@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRunLoadSmoke drives a short fixed-seed open-loop run against a
+// live server and checks the accounting: every arrival is resolved into
+// exactly one outcome bucket and nothing errors.
+func TestRunLoadSmoke(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 4, MaxQueue: 64, QueueTimeout: time.Second})
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Base:     s.URL(),
+		Rate:     200,
+		Duration: 400 * time.Millisecond,
+		Seed:     1,
+		MinSize:  4,
+		MaxSize:  24,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d requests errored", rep.Errors)
+	}
+	if got := rep.OK + rep.Rejected + rep.Canceled + rep.Errors; got != rep.Requests {
+		t.Errorf("outcomes %d != requests %d (ok %d rejected %d canceled %d errors %d)",
+			got, rep.Requests, rep.OK, rep.Rejected, rep.Canceled, rep.Errors)
+	}
+	if rep.OK > 0 {
+		if rep.P50NS <= 0 || rep.P99NS < rep.P50NS || rep.P999NS < rep.P99NS {
+			t.Errorf("quantiles not monotone: p50=%v p99=%v p999=%v", rep.P50NS, rep.P99NS, rep.P999NS)
+		}
+		if rep.ThroughputRPS <= 0 {
+			t.Errorf("throughput = %v with %d ok", rep.ThroughputRPS, rep.OK)
+		}
+	}
+}
+
+// TestRunLoadSheddingUnderOverload pins the overload behavior end to
+// end: a one-slot server under heavy open-loop arrivals with a
+// no-retry client must shed load as rejections, and every rejection is
+// still accounted.
+func TestRunLoadSheddingUnderOverload(t *testing.T) {
+	s := startServer(t, Config{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 20 * time.Millisecond})
+
+	client := NewClient(s.URL(), 1)
+	client.MaxAttempts = 1 // no retries: rejections surface immediately
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Base:     s.URL(),
+		Rate:     500,
+		Duration: 300 * time.Millisecond,
+		Seed:     2,
+		MinSize:  16,
+		MaxSize:  128,
+		Client:   client,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Rejected == 0 {
+		t.Errorf("500 rps against one slot produced no rejections: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d non-overload errors under overload", rep.Errors)
+	}
+	if got := rep.OK + rep.Rejected + rep.Canceled; got != rep.Requests {
+		t.Errorf("outcomes %d != requests %d", got, rep.Requests)
+	}
+}
+
+// TestGenRequestDeterministic pins generator determinism: the same seed
+// yields the same request stream.
+func TestGenRequestDeterministic(t *testing.T) {
+	cfg := LoadConfig{}.withDefaults()
+	a, b := rand.New(rand.NewSource(5)), rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		ra, rb := cfg.genRequest(a), cfg.genRequest(b)
+		if ra.Family != rb.Family || ra.Seed != rb.Seed || ra.Left != rb.Left ||
+			ra.Right != rb.Right || ra.Skew != rb.Skew {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestParetoSizeBounds pins the heavy-tail size draw to its bounds and
+// its shape: most mass near MinSize, some spread above it.
+func TestParetoSizeBounds(t *testing.T) {
+	cfg := LoadConfig{MinSize: 8, MaxSize: 64}.withDefaults()
+	rng := rand.New(rand.NewSource(9))
+	small, bigger := 0, 0
+	for i := 0; i < 10000; i++ {
+		size := cfg.paretoSize(rng)
+		if size < 8 || size > 64 {
+			t.Fatalf("size %d outside [8, 64]", size)
+		}
+		if size <= 16 {
+			small++
+		} else {
+			bigger++
+		}
+	}
+	if small <= bigger {
+		t.Errorf("tail heavier than bulk: %d small vs %d bigger — not Pareto-shaped", small, bigger)
+	}
+	if bigger == 0 {
+		t.Error("no tail at all: every draw was <= 2x MinSize")
+	}
+}
