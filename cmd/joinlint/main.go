@@ -24,9 +24,12 @@ import (
 
 	"joinpebble/internal/analysis"
 	"joinpebble/internal/analysis/load"
+	"joinpebble/internal/analysis/passes/atomicmix"
 	"joinpebble/internal/analysis/passes/ctxloop"
 	"joinpebble/internal/analysis/passes/forbidden"
+	"joinpebble/internal/analysis/passes/golife"
 	"joinpebble/internal/analysis/passes/hotalloc"
+	"joinpebble/internal/analysis/passes/lockorder"
 	"joinpebble/internal/analysis/passes/obsnames"
 	"joinpebble/internal/analysis/passes/sitereg"
 	"joinpebble/internal/analysis/passes/wraperr"
@@ -35,9 +38,12 @@ import (
 
 // analyzers is the full suite, in the order diagnostics credit them.
 var analyzers = []*analysis.Analyzer{
+	atomicmix.Analyzer,
 	ctxloop.Analyzer,
 	forbidden.Analyzer,
+	golife.Analyzer,
 	hotalloc.Analyzer,
+	lockorder.Analyzer,
 	obsnames.Analyzer,
 	sitereg.Analyzer,
 	wraperr.Analyzer,

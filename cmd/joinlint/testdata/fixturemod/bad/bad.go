@@ -7,6 +7,8 @@ package bad
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"joinpebble/internal/faultinject"
@@ -46,4 +48,60 @@ func bareClock() time.Duration {
 //joinpebble:hotpath
 func hotAppend(dst []int, v int) []int {
 	return append(dst, v)
+}
+
+// hotSpawn breaks two invariants on one line: spawning inside a hot
+// path allocates (hotalloc), and nothing bounds the goroutine's
+// lifetime (golife). The golden file pins that same-position
+// diagnostics sort by analyzer name.
+//
+//joinpebble:hotpath
+func hotSpawn() {
+	go spin()
+}
+
+func spin() {
+	for {
+		continue
+	}
+}
+
+// lockA/lockB are acquired in both orders across the two functions
+// below: a textbook lock-order cycle.
+type lockA struct{ mu sync.Mutex }
+
+type lockB struct{ mu sync.Mutex }
+
+var (
+	la lockA
+	lb lockB
+)
+
+func abOrder() {
+	la.mu.Lock()
+	lb.mu.Lock()
+	lb.mu.Unlock()
+	la.mu.Unlock()
+}
+
+func baOrder() {
+	lb.mu.Lock()
+	la.mu.Lock()
+	la.mu.Unlock()
+	lb.mu.Unlock()
+}
+
+// counter mixes atomic and plain access to the same field with no
+// guarding lock anywhere.
+type counter struct {
+	pad int64
+	n   int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) peek() int64 {
+	return c.n
 }

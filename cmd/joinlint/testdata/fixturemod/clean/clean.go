@@ -5,6 +5,8 @@ package clean
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"joinpebble/internal/faultinject"
@@ -43,4 +45,52 @@ func elapsed() time.Duration {
 //joinpebble:hotpath
 func hotStore(dst []int, k, v int) {
 	dst[k] = v
+}
+
+// spawnJoined bounds the goroutine with a WaitGroup join.
+func spawnJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cOps.Inc()
+	}()
+	wg.Wait()
+}
+
+// first/second are always acquired in declaration order, and the
+// lockrank directives make the hierarchy explicit.
+type first struct {
+	//joinlint:lockrank clean-first 10
+	mu sync.Mutex
+}
+
+type second struct {
+	//joinlint:lockrank clean-second 20
+	mu sync.Mutex
+}
+
+var (
+	f1 first
+	s2 second
+)
+
+func orderedLocks() {
+	f1.mu.Lock()
+	s2.mu.Lock()
+	s2.mu.Unlock()
+	f1.mu.Unlock()
+}
+
+// gauge uses a typed atomic exclusively through its methods.
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) set(x int64) {
+	g.v.Store(x)
+}
+
+func (g *gauge) get() int64 {
+	return g.v.Load()
 }

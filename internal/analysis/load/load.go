@@ -52,6 +52,7 @@ type listPkg struct {
 type ExportData struct {
 	dir string
 
+	//joinlint:lockrank load-exportdata 90
 	mu sync.Mutex
 	m  map[string]string
 }

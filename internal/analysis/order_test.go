@@ -1,0 +1,111 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"joinpebble/internal/analysis"
+)
+
+// TestDiagnosticOrdering pins the driver's output contract: diagnostics
+// come back sorted by (file, line, column, analyzer, message) no matter
+// what order analyzers produced them in. The synthetic analyzers below
+// deliberately report out of a map — randomized iteration order — and
+// the test runs many rounds so a regression to insertion order cannot
+// hide behind a lucky shuffle.
+func TestDiagnosticOrdering(t *testing.T) {
+	const srcA = `package ordertest
+
+func a() {}
+func b() {}
+func c() {}
+`
+	const srcB = `package ordertest
+
+func d() {}
+func e() {}
+`
+	for round := 0; round < 20; round++ {
+		fset := token.NewFileSet()
+		fileA, err := parser.ParseFile(fset, "a_fixture.go", srcA, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fileB, err := parser.ParseFile(fset, "b_fixture.go", srcB, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit := analysis.Unit{
+			Files: []*ast.File{fileA, fileB},
+			Pkg:   types.NewPackage("ordertest", "ordertest"),
+			Info:  &types.Info{},
+		}
+
+		// Each function declaration becomes several report sites. Feeding
+		// them through a map scrambles emission order.
+		sites := map[string]token.Pos{}
+		for _, f := range unit.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					sites[fd.Name.Name] = fd.Pos()
+				}
+			}
+		}
+		mkAnalyzer := func(name string) *analysis.Analyzer {
+			a := &analysis.Analyzer{Name: name, Doc: "ordering probe"}
+			a.Run = func(pass *analysis.Pass) error {
+				for fn, pos := range sites {
+					// Two messages per site per analyzer: same position,
+					// same analyzer, ordering must fall to the message.
+					pass.Reportf(pos, "probe-b %s", fn)
+					pass.Reportf(pos, "probe-a %s", fn)
+				}
+				return nil
+			}
+			return a
+		}
+		// Registered in reverse-alphabetical order: the sort may not
+		// lean on registration order either.
+		diags, err := analysis.Run(fset, []analysis.Unit{unit}, []*analysis.Analyzer{
+			mkAnalyzer("zeta"), mkAnalyzer("alpha"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 2 * 2 * len(sites); len(diags) != want {
+			t.Fatalf("got %d diagnostics, want %d", len(diags), want)
+		}
+		for i := 1; i < len(diags); i++ {
+			if !ordered(fset, diags[i-1], diags[i]) {
+				t.Fatalf("round %d: diagnostics out of order at %d:\n  %s\n  %s",
+					round, i, describe(fset, diags[i-1]), describe(fset, diags[i]))
+			}
+		}
+	}
+}
+
+// ordered reports d1 <= d2 under the documented sort key.
+func ordered(fset *token.FileSet, d1, d2 analysis.Diagnostic) bool {
+	p1, p2 := fset.Position(d1.Pos), fset.Position(d2.Pos)
+	switch {
+	case p1.Filename != p2.Filename:
+		return p1.Filename < p2.Filename
+	case p1.Line != p2.Line:
+		return p1.Line < p2.Line
+	case p1.Column != p2.Column:
+		return p1.Column < p2.Column
+	case d1.Analyzer != d2.Analyzer:
+		return d1.Analyzer < d2.Analyzer
+	default:
+		return d1.Message <= d2.Message
+	}
+}
+
+func describe(fset *token.FileSet, d analysis.Diagnostic) string {
+	p := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d [%s] %s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+}

@@ -1,0 +1,309 @@
+// Package atomicmix polices the boundary between sync/atomic and
+// everything else. Three rules:
+//
+//  1. A struct field that is ever accessed through a sync/atomic
+//     function (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&s.n), ...)
+//     must never also be read or written plainly, unless the plain
+//     access sits in a function that locks a mutex belonging to the
+//     same struct (the guarding-lock escape: a field can be atomic on
+//     the fast path and plainly swept under the struct's own lock).
+//     Torn reads hide until the race detector happens to catch them;
+//     this makes the discipline static.
+//
+//  2. A field of a typed atomic (atomic.Int64, atomic.Bool, ...) must
+//     only be used as a method receiver or have its address taken.
+//     Copying the value copies the guts out from under concurrent
+//     updaters (and silently defeats the noCopy sentinel).
+//
+//  3. A plain int64/uint64 field used with 64-bit atomic functions must
+//     be 64-bit-aligned on 32-bit platforms: its offset in the struct
+//     layout under GOARCH=386 sizes must be a multiple of 8. This is
+//     the classic pre-atomic.Int64 footgun — works on amd64, faults on
+//     386/arm. (Typed atomics carry their own alignment; prefer them.)
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"joinpebble/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must not be accessed plainly outside the guarding lock, typed atomics must not be copied, and 64-bit atomic fields must be alignment-safe",
+	Run:  run,
+}
+
+// atomicFns maps sync/atomic function names to whether they demand
+// 64-bit alignment of their operand.
+var atomicFns = map[string]bool{
+	"AddInt32": false, "AddUint32": false, "AddInt64": true, "AddUint64": true, "AddUintptr": false,
+	"LoadInt32": false, "LoadUint32": false, "LoadInt64": true, "LoadUint64": true, "LoadUintptr": false, "LoadPointer": false,
+	"StoreInt32": false, "StoreUint32": false, "StoreInt64": true, "StoreUint64": true, "StoreUintptr": false, "StorePointer": false,
+	"SwapInt32": false, "SwapUint32": false, "SwapInt64": true, "SwapUint64": true, "SwapUintptr": false, "SwapPointer": false,
+	"CompareAndSwapInt32": false, "CompareAndSwapUint32": false,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+	"CompareAndSwapUintptr": false, "CompareAndSwapPointer": false,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: which fields are touched atomically, and which of those
+	// touches demand 64-bit alignment. Also remember the argument
+	// expressions themselves so pass 2 can tell an atomic access from a
+	// plain one.
+	atomicFields := map[*types.Var]bool{}          // field -> reached via atomic fn
+	needs64 := map[*types.Var]bool{}               // field -> used with a 64-bit atomic fn
+	atomicArgSites := map[*ast.SelectorExpr]bool{} // &s.n selectors inside atomic calls
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			wide, known := atomicFns[fn.Name()]
+			if !known || len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldVar(info, sel)
+			if f == nil {
+				return true
+			}
+			atomicFields[f] = true
+			if wide {
+				needs64[f] = true
+			}
+			atomicArgSites[sel] = true
+			return true
+		})
+	}
+
+	// Which functions lock a mutex field of a given struct type: the
+	// guarding-lock escape for plain accesses.
+	guards := map[ast.Node]map[*types.Named]bool{}
+	for _, file := range pass.Files {
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			switch fn.Name() {
+			case "Lock", "RLock":
+			default:
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			owner := lockOwner(info, sel)
+			if owner == nil {
+				return true
+			}
+			encl := analysis.EnclosingFunc(stack)
+			if encl == nil {
+				return true
+			}
+			if guards[encl] == nil {
+				guards[encl] = map[*types.Named]bool{}
+			}
+			guards[encl][owner] = true
+			return true
+		})
+	}
+
+	// Pass 2: plain accesses to atomically-touched fields, typed-atomic
+	// copies.
+	for _, file := range pass.Files {
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldVar(info, sel)
+			if f == nil {
+				return true
+			}
+			if isAtomicValueType(f.Type()) {
+				if !addressedOrReceiver(stack, sel) {
+					pass.Reportf(sel.Pos(), "atomic field %s.%s copied as a value; typed atomics must be used via methods or by address", ownerName(info, sel), f.Name())
+				}
+				return true
+			}
+			if !atomicFields[f] || atomicArgSites[sel] {
+				return true
+			}
+			if parentSelectsMethod(stack, sel) {
+				return true
+			}
+			encl := analysis.EnclosingFunc(stack)
+			owner := fieldOwner(info, sel)
+			if encl != nil && owner != nil && guards[encl][owner] {
+				return true // plain sweep under the struct's own lock
+			}
+			pass.Reportf(sel.Pos(), "field %s.%s is accessed with sync/atomic elsewhere but read/written plainly here outside the guarding lock", ownerName(info, sel), f.Name())
+			return true
+		})
+	}
+
+	// Pass 3: 64-bit alignment of plain fields used with 64-bit atomic
+	// functions, under 32-bit (GOARCH=386) struct layout.
+	checkAlignment(pass, needs64)
+	return nil
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// fieldOwner returns the named struct type sel selects a field from.
+func fieldOwner(info *types.Info, sel *ast.SelectorExpr) *types.Named {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func ownerName(info *types.Info, sel *ast.SelectorExpr) string {
+	if n := fieldOwner(info, sel); n != nil {
+		return n.Obj().Name()
+	}
+	return "?"
+}
+
+// lockOwner resolves the struct type whose mutex field a Lock/RLock
+// call operates on: s.mu.Lock() -> type of s.
+func lockOwner(info *types.Info, lockSel *ast.SelectorExpr) *types.Named {
+	x, ok := ast.Unparen(lockSel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldOwner(info, x)
+}
+
+// isAtomicValueType reports whether t is one of the typed atomics from
+// sync/atomic (Int64, Uint32, Bool, Value, Pointer[T], ...).
+func isAtomicValueType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressedOrReceiver reports whether sel (a typed-atomic field use) is
+// in a safe position: the operand of &, or the receiver of a method
+// call/selection (s.n.Add(1)).
+func addressedOrReceiver(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.SelectorExpr:
+		return p.X == sel // s.n.Load: sel is the receiver of a deeper selection
+	case *ast.ParenExpr:
+		if len(stack) >= 2 {
+			return addressedOrReceiver(stack[:len(stack)-1], sel)
+		}
+	}
+	return false
+}
+
+// parentSelectsMethod reports whether sel is itself the X of a method
+// selection (s.field.Method()) — not a plain value access.
+func parentSelectsMethod(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	p, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	return ok && p.X == sel
+}
+
+// checkAlignment lays every struct that owns a needs64 field out with
+// 32-bit sizes and reports fields not on an 8-byte boundary.
+func checkAlignment(pass *analysis.Pass, needs64 map[*types.Var]bool) {
+	if len(needs64) == 0 {
+		return
+	}
+	sizes := types.SizesFor("gc", "386")
+	// Find the defining struct of each flagged field by scanning the
+	// package's named struct types.
+	type target struct {
+		field *types.Var
+		owner *types.Named
+		strct *types.Struct
+	}
+	var targets []target
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if needs64[st.Field(i)] {
+				targets = append(targets, target{field: st.Field(i), owner: named, strct: st})
+			}
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].field.Pos() < targets[j].field.Pos() })
+	for _, tg := range targets {
+		fields := make([]*types.Var, tg.strct.NumFields())
+		idx := -1
+		for i := 0; i < tg.strct.NumFields(); i++ {
+			fields[i] = tg.strct.Field(i)
+			if fields[i] == tg.field {
+				idx = i
+			}
+		}
+		offsets := sizes.Offsetsof(fields)
+		if idx >= 0 && offsets[idx]%8 != 0 {
+			pass.Reportf(tg.field.Pos(), "field %s.%s is used with 64-bit sync/atomic functions but sits at offset %d under 32-bit layout; move it to the front of the struct or use atomic.Int64/Uint64", tg.owner.Obj().Name(), tg.field.Name(), offsets[idx])
+		}
+	}
+}

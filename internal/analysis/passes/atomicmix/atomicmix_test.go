@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"joinpebble/internal/analysis/analysistest"
+	"joinpebble/internal/analysis/passes/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "atomicmixa")
+}

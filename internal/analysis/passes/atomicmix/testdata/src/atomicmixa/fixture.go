@@ -1,0 +1,105 @@
+// Package atomicmixa exercises the atomicmix analyzer: plain access to
+// atomically-touched fields (flagged), the guarding-lock escape
+// (clean), typed-atomic copies (flagged) vs method/address use (clean),
+// and 64-bit alignment of pre-typed-atomic counter fields under 32-bit
+// layout.
+package atomicmixa
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mixed access: hits is incremented atomically on the fast path but
+// also read plainly with no lock anywhere in sight.
+type mixed struct {
+	pad  int64
+	hits int64
+}
+
+func (m *mixed) bump() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+func (m *mixed) peek() int64 {
+	return m.hits // want `field mixed\.hits is accessed with sync/atomic elsewhere but read/written plainly here outside the guarding lock`
+}
+
+func (m *mixed) reset() {
+	m.hits = 0 // want `field mixed\.hits is accessed with sync/atomic elsewhere but read/written plainly here outside the guarding lock`
+}
+
+// Guarding-lock escape: the counter is atomic on the fast path and
+// plainly swept in a function that holds the struct's own mutex.
+type guarded struct {
+	n  int64
+	mu sync.Mutex
+}
+
+func (g *guarded) bump() {
+	atomic.AddInt64(&g.n, 1)
+}
+
+func (g *guarded) sweep() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.n
+	g.n = 0
+	return n
+}
+
+// Typed atomics: method calls and address-taking are fine, copying the
+// value is not.
+type typed struct {
+	waiting atomic.Int64
+	flag    atomic.Bool
+}
+
+func (t *typed) enter() {
+	t.waiting.Add(1)
+	t.flag.Store(true)
+}
+
+func (t *typed) addr() *atomic.Int64 {
+	return &t.waiting
+}
+
+func (t *typed) leak() atomic.Int64 {
+	return t.waiting // want `atomic field typed\.waiting copied as a value`
+}
+
+func (t *typed) compare(x int64) bool {
+	v := t.waiting // want `atomic field typed\.waiting copied as a value`
+	return v.Load() == x
+}
+
+// Alignment: under GOARCH=386 layout, bad.count lands at offset 4 —
+// a 64-bit atomic on it faults on 32-bit platforms. good.count is at
+// offset 0 and passes.
+type misaligned struct {
+	ready bool
+	count int64 // want `field misaligned\.count is used with 64-bit sync/atomic functions but sits at offset 4 under 32-bit layout`
+}
+
+func (b *misaligned) bump() {
+	atomic.AddInt64(&b.count, 1)
+}
+
+type aligned struct {
+	count int64
+	ready bool
+}
+
+func (g *aligned) bump() {
+	atomic.AddInt64(&g.count, 1)
+}
+
+// 32-bit atomics carry no alignment demand: offset 4 is fine.
+type narrow struct {
+	ready bool
+	count uint32
+}
+
+func (n *narrow) bump() {
+	atomic.AddUint32(&n.count, 1)
+}

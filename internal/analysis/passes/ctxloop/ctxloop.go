@@ -24,12 +24,16 @@ import (
 const MaxStride = 4096
 
 // scopedPkgs are the packages whose loops do search expansion — the TSP
-// and solver search trees plus the graph package's claw-scan kernel,
-// whose per-vertex probe loop carries the same checkpoint discipline.
+// and solver search trees, the graph package's claw-scan kernel, and
+// (since the service landed) the serve package's retry/arrival loops
+// and the scheme cache's CLOCK eviction sweep: all carry faultinject
+// checkpoints and must stay cancellable under the same discipline.
 var scopedPkgs = map[string]bool{
-	"joinpebble/internal/tsp":    true,
-	"joinpebble/internal/solver": true,
-	"joinpebble/internal/graph":  true,
+	"joinpebble/internal/tsp":         true,
+	"joinpebble/internal/solver":      true,
+	"joinpebble/internal/graph":       true,
+	"joinpebble/internal/serve":       true,
+	"joinpebble/internal/schemecache": true,
 }
 
 // Analyzer is the ctxloop pass.
@@ -160,7 +164,11 @@ func scanRegion(info *types.Info, body *ast.BlockStmt, self types.Object) region
 		if fn == nil {
 			return true
 		}
-		if analysis.FuncIs(fn, "joinpebble/internal/faultinject", "", "Fire") {
+		// FireContext is a fire, not a check: it selects on ctx only
+		// when a site is armed with a delay, so a disarmed run would
+		// never observe cancellation through it.
+		if analysis.FuncIs(fn, "joinpebble/internal/faultinject", "", "Fire") ||
+			analysis.FuncIs(fn, "joinpebble/internal/faultinject", "", "FireContext") {
 			res.fires = append(res.fires, call.Pos())
 		}
 		if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Err" || fn.Name() == "Done") {

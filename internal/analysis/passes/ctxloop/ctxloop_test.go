@@ -9,8 +9,10 @@ import (
 
 func TestCtxloop(t *testing.T) {
 	analysistest.Run(t, ctxloop.Analyzer,
-		"joinpebble/internal/tsp",   // mirrored path: in scope
-		"joinpebble/internal/graph", // claw-scan kernel scope
-		"ctxloopout",                // not a search package: ignored
+		"joinpebble/internal/tsp",         // mirrored path: in scope
+		"joinpebble/internal/graph",       // claw-scan kernel scope
+		"joinpebble/internal/serve",       // retry/arrival loops (PR 10 extension)
+		"joinpebble/internal/schemecache", // CLOCK eviction sweep (PR 10 extension)
+		"ctxloopout",                      // not a search package: ignored
 	)
 }

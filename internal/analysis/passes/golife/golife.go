@@ -1,0 +1,274 @@
+// Package golife enforces bounded goroutine lifetimes: every `go`
+// statement must carry a static proof that the spawned goroutine
+// terminates or is cancellable. Accepted proofs:
+//
+//   - WaitGroup join: the goroutine calls Done on a sync.WaitGroup and
+//     the spawning function calls Wait on the same variable.
+//   - Channel join: the goroutine sends on a channel the spawning
+//     function receives from (result-gathering).
+//   - Cancellation: the goroutine's body observes a context.Context
+//     (ctx.Done() / ctx.Err()) or receives from a channel (done/quit
+//     channels, `for range ch` worker loops).
+//   - Named callees in the same package are inspected one level deep
+//     for the same cancellation evidence; any callee handed a
+//     context.Context argument is assumed to honor it (that contract is
+//     the callee's package's problem, enforced where its body lives).
+//
+// Everything else is a fire-and-forget goroutine whose lifetime nothing
+// bounds — a leak when the spawn site is hot, a shutdown hang when it
+// blocks. The few deliberate daemons (HTTP accept loops, the flight
+// recorder) carry `//joinlint:ignore golife <reason>` instead, so every
+// unbounded goroutine in the tree is individually justified. The
+// internal/testutil/leakcheck harness cross-checks this rule
+// dynamically at test time.
+package golife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"joinpebble/internal/analysis"
+)
+
+// Analyzer is the golife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "golife",
+	Doc:  "go statements must spawn goroutines with provably bounded lifetimes (join, result channel, or context/done cancellation)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			encl := analysis.EnclosingFunc(stack)
+			if encl == nil {
+				return true
+			}
+			if bounded(pass, gs, encl) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine lifetime is unbounded: not joined in %s (WaitGroup.Wait or result-channel receive) and its body observes no context or done channel", funcName(encl))
+			return true
+		})
+	}
+	return nil
+}
+
+func funcName(encl ast.Node) string {
+	if fd, ok := encl.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return "the enclosing function literal"
+}
+
+// bounded reports whether the go statement carries any accepted
+// lifetime proof.
+func bounded(pass *analysis.Pass, gs *ast.GoStmt, encl ast.Node) bool {
+	info := pass.TypesInfo
+	call := gs.Call
+
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if observesCancellation(info, lit.Body) {
+			return true
+		}
+		// Join proofs: Done/send inside the goroutine paired with
+		// Wait/receive in the spawning function.
+		wgs, sends := joinCandidates(info, lit.Body)
+		return joinedByEnclosing(info, encl, gs, wgs, sends)
+	}
+
+	// Named call: a context argument is proof by contract.
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && analysis.IsContextType(tv.Type) {
+			return true
+		}
+	}
+	// A WaitGroup argument joined by the spawner is a join proof.
+	var wgArgs []types.Object
+	for _, arg := range call.Args {
+		if obj := rootObj(info, arg); obj != nil && isWaitGroupType(obj.Type()) {
+			wgArgs = append(wgArgs, obj)
+		}
+	}
+	if len(wgArgs) > 0 && joinedByEnclosing(info, encl, gs, wgArgs, nil) {
+		return true
+	}
+	// One level into same-package callees: cancellation evidence in the
+	// body counts.
+	if fn := analysis.CalleeFunc(info, call); fn != nil && fn.Pkg() == pass.Pkg {
+		if body := funcDeclBody(pass, fn); body != nil && observesCancellation(info, body) {
+			return true
+		}
+	}
+	// Method value on the receiver: `go s.run()` where run's body
+	// selects on s.done is covered above (same package). Anything else
+	// is unproven.
+	return false
+}
+
+// observesCancellation reports whether body contains evidence the
+// goroutine can notice shutdown: a context.Context Done/Err use, or a
+// channel receive (done/quit channels, `for range jobs` worker loops,
+// result waits).
+func observesCancellation(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Done" || n.Sel.Name == "Err" {
+				if tv, ok := info.Types[n.X]; ok && analysis.IsContextType(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// joinCandidates collects, from the goroutine body, the WaitGroup
+// variables it calls Done on and the channel variables it sends on.
+func joinCandidates(info *types.Info, body ast.Node) (wgs, sends []types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, n)
+			if analysis.FuncIs(fn, "sync", "WaitGroup", "Done") {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if obj := rootObj(info, sel.X); obj != nil {
+						wgs = append(wgs, obj)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj := rootObj(info, n.Chan); obj != nil {
+				sends = append(sends, obj)
+			}
+		}
+		return true
+	})
+	return wgs, sends
+}
+
+// joinedByEnclosing reports whether the spawning function, outside the
+// go statement itself, calls Wait on one of wgs or receives from one of
+// sends.
+func joinedByEnclosing(info *types.Info, encl ast.Node, gs *ast.GoStmt, wgs, sends []types.Object) bool {
+	body := analysis.FuncBody(encl)
+	if body == nil {
+		return false
+	}
+	match := func(obj types.Object, set []types.Object) bool {
+		for _, o := range set {
+			if o == obj {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == gs {
+			return false // the goroutine's own body proves nothing here
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, n)
+			if analysis.FuncIs(fn, "sync", "WaitGroup", "Wait") {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if obj := rootObj(info, sel.X); obj != nil && match(obj, wgs) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := rootObj(info, n.X); obj != nil && match(obj, sends) {
+					found = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := rootObj(info, n.X); obj != nil && match(obj, sends) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootObj resolves an expression to the variable it names: a plain
+// identifier, a field selection (s.wg — the field var is stable across
+// the methods of one receiver), or the address of either.
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return rootObj(info, e.X)
+		}
+	}
+	return nil
+}
+
+func isWaitGroupType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// funcDeclBody finds the syntax body of a function object declared in
+// the package under analysis.
+func funcDeclBody(pass *analysis.Pass, fn *types.Func) *ast.BlockStmt {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package golife_test
+
+import (
+	"testing"
+
+	"joinpebble/internal/analysis/analysistest"
+	"joinpebble/internal/analysis/passes/golife"
+)
+
+func TestGolife(t *testing.T) {
+	analysistest.Run(t, golife.Analyzer, "golifea")
+}

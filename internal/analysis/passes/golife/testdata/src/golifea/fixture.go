@@ -1,0 +1,168 @@
+// Package golifea exercises the golife analyzer: every accepted
+// lifetime proof (WaitGroup join, result-channel join, context
+// observation, done-channel receive, range-over-channel worker, named
+// same-package callee, context argument by contract) plus the flagged
+// fire-and-forget shapes and the ignore escape hatch for deliberate
+// daemons.
+package golifea
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// Fire-and-forget closure: nothing joins it, nothing cancels it.
+func naked() {
+	go func() { // want `goroutine lifetime is unbounded: not joined in naked`
+		for {
+			work()
+		}
+	}()
+}
+
+// WaitGroup join: Done in the goroutine, Wait in the spawner.
+func wgJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// WaitGroup as a struct field: the field variable is the same object in
+// the closure and at the Wait site.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+	p.wg.Wait()
+}
+
+// Done on a WaitGroup nothing Waits on proves nothing.
+func wgNeverWaited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine lifetime is unbounded: not joined in wgNeverWaited`
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Result-channel join: the spawner receives what the goroutine sends.
+func chanJoined() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	return <-ch
+}
+
+// Send into a channel nobody in this function receives from proves
+// nothing.
+func chanNeverReceived(ch chan int) {
+	go func() { // want `goroutine lifetime is unbounded: not joined in chanNeverReceived`
+		ch <- compute()
+	}()
+}
+
+// Context observation inside the goroutine body.
+func ctxSelect(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// ctx.Err polling counts the same as Done.
+func ctxErrPoll(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+// Done-channel receive inside the goroutine body.
+func doneChan(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Worker draining a job channel terminates when the channel closes.
+func rangeWorker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			use(j)
+		}
+	}()
+}
+
+// Named same-package callee inspected one level deep: loop observes its
+// done channel.
+type server struct {
+	done chan struct{}
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func (s *server) start() {
+	go s.loop()
+}
+
+// A context argument to a named callee is proof by contract, even
+// cross-package.
+func ctxArg(ctx context.Context, srv *http.Server) {
+	go shutdownWhenDone(ctx, srv)
+}
+
+func shutdownWhenDone(ctx context.Context, srv *http.Server) {
+	<-ctx.Done()
+	srv.Close()
+}
+
+// Cross-package named call with no context and no join: the accept-loop
+// daemon shape. Flagged, and the deliberate instance carries an ignore.
+func daemonFlagged(srv *http.Server) {
+	go srv.ListenAndServe() // want `goroutine lifetime is unbounded: not joined in daemonFlagged`
+}
+
+func daemonSanctioned(srv *http.Server) {
+	//joinlint:ignore golife accept loop runs until Shutdown closes the listener
+	go srv.ListenAndServe()
+}
+
+func work()        {}
+func compute() int { return 0 }
+func use(int)      {}

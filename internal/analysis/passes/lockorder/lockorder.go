@@ -1,0 +1,868 @@
+// Package lockorder builds a whole-program lock-acquisition graph and
+// reports ordering hazards: cycles (potential deadlocks), locks
+// re-acquired while an instance of the same lock is already held, and
+// violations of the declared lock hierarchy.
+//
+// Every sync.Mutex / sync.RWMutex that is a named struct field or a
+// package-level var gets a stable identity `package.Type.field` (or
+// `package.var`). Within each function the analyzer tracks the held set
+// along a conservative, order-sensitive walk of the body — branch
+// effects merge by union, branches that end in return discard their
+// effects — and records an edge A → B whenever B is acquired while A is
+// held. One level of call forwarding is followed, matching the obsnames
+// forwarder machinery: a call to a same-package function while holding
+// A contributes edges from A to every lock that function acquires
+// directly in its own body. Edges are exported as package facts; the
+// Finish hook assembles the global graph and reports every strongly
+// connected cycle once.
+//
+// Declared hierarchies: a mutex declaration may carry
+//
+//	//joinlint:lockrank <name> <level>
+//
+// on its own line (or the line above). Ranked locks form a total order:
+// acquiring a ranked lock while holding another ranked lock requires a
+// strictly increasing level, so the sanctioned nesting is spelled out
+// in DESIGN.md's hierarchy table instead of being rediscovered from
+// bug reports. Unranked locks still get cycle detection.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"joinpebble/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:   "lockorder",
+	Doc:    "lock acquisition order must be acyclic and respect declared lockrank hierarchies",
+	Run:    run,
+	Finish: finish,
+}
+
+// Edge is one observed nesting: To was acquired at Pos while From was
+// held.
+type Edge struct {
+	From, To string
+	Pos      token.Pos
+}
+
+// Rank is one declared hierarchy position for the lock identified by ID.
+type Rank struct {
+	ID    string
+	Name  string
+	Level int64
+	Pos   token.Pos
+}
+
+// Fact is the per-package export: observed edges plus declared ranks.
+type Fact struct {
+	Edges []Edge
+	Ranks []Rank
+}
+
+var rankRE = regexp.MustCompile(`^//joinlint:lockrank\s+(\S+)\s+(-?\d+)\s*$`)
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	var fact Fact
+
+	// Declared ranks: a lockrank directive on (or directly above) a
+	// mutex field or package-level mutex var declaration.
+	directives := collectDirectives(pass)
+	for _, file := range pass.Files {
+		collectRanks(pass, file, directives, &fact)
+	}
+
+	// Summaries: the locks each package function acquires directly in
+	// its own body, for one-level call forwarding.
+	summaries := map[*types.Func][]Edge{} // Edge.From unused; To+Pos = direct acquisition
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			summaries[fn] = directAcquisitions(pass, fd.Body)
+		}
+	}
+
+	// Held-set walk over every function declaration and literal.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				w := &walker{pass: pass, summaries: summaries, fact: &fact}
+				w.walkStmts(body.List, newHeld())
+			}
+			return true
+		})
+	}
+
+	if len(fact.Edges) > 0 || len(fact.Ranks) > 0 {
+		pass.ExportFact(fact)
+	}
+	return nil
+}
+
+// held is the multiset of lock IDs currently held, with first-acquired
+// order preserved for readable edge sources.
+type held struct {
+	count map[string]int
+	order []string
+}
+
+func newHeld() *held { return &held{count: map[string]int{}} }
+
+func (h *held) clone() *held {
+	c := &held{count: make(map[string]int, len(h.count)), order: append([]string(nil), h.order...)}
+	for k, v := range h.count {
+		c.count[k] = v
+	}
+	return c
+}
+
+func (h *held) acquire(id string) {
+	if h.count[id] == 0 {
+		h.order = append(h.order, id)
+	}
+	h.count[id]++
+}
+
+func (h *held) release(id string) {
+	if h.count[id] == 0 {
+		return
+	}
+	h.count[id]--
+	if h.count[id] == 0 {
+		for i, v := range h.order {
+			if v == id {
+				h.order = append(h.order[:i], h.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// union folds a branch's exit state into h: a lock held on any path out
+// of the branch is conservatively held afterwards.
+func (h *held) union(b *held) {
+	for _, id := range b.order {
+		if b.count[id] > h.count[id] {
+			if h.count[id] == 0 {
+				h.order = append(h.order, id)
+			}
+			h.count[id] = b.count[id]
+		}
+	}
+}
+
+type walker struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func][]Edge
+	fact      *Fact
+}
+
+// walkStmts walks a statement list in source order, maintaining the held
+// set, and reports whether control can flow past the end of the list.
+func (w *walker) walkStmts(list []ast.Stmt, h *held) bool {
+	for _, s := range list {
+		if !w.walkStmt(s, h) {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *walker) walkStmt(s ast.Stmt, h *held) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, h)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, h)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, h)
+		}
+		w.scanExpr(s.Cond, h)
+		then := h.clone()
+		if w.walkStmts(s.Body.List, then) {
+			h.union(then)
+		}
+		if s.Else != nil {
+			els := h.clone()
+			if w.walkStmt(s.Else, els) {
+				h.union(els)
+			}
+		}
+		return true
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, h)
+		}
+		body := h.clone()
+		if w.walkStmts(s.Body.List, body) {
+			if s.Post != nil {
+				w.walkStmt(s.Post, body)
+			}
+			h.union(body)
+		}
+		return true
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, h)
+		body := h.clone()
+		if w.walkStmts(s.Body.List, body) {
+			h.union(body)
+		}
+		return true
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(s, h)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, h)
+		}
+		return false
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current straight-line region;
+		// discarding the branch's tail keeps early-unlock-and-bail
+		// patterns from poisoning the fallthrough state.
+		return false
+	case *ast.DeferStmt:
+		// A deferred Unlock holds the lock to function end: no release.
+		// Other deferred calls are scanned with the current held set —
+		// an approximation, but deferred lock acquisition is rare and
+		// over-reporting is the safe direction for a deadlock lint.
+		if id, op := w.lockOp(s.Call); id != "" && (op == opUnlock) {
+			return true
+		}
+		w.scanExpr(s.Call, h)
+		return true
+	case *ast.GoStmt:
+		// The spawned body runs concurrently and is analyzed as its own
+		// function literal root; locks held at the spawn site are not
+		// held inside it.
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg, h)
+		}
+		return true
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, h)
+		return true
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.scanExpr(r, h)
+		}
+		for _, l := range s.Lhs {
+			w.scanExpr(l, h)
+		}
+		return true
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.scanExpr(s, h)
+		return true
+	default:
+		if s != nil {
+			w.scanExpr(s, h)
+		}
+		return true
+	}
+}
+
+// walkCases handles switch/type-switch/select: every clause starts from
+// the entry state; clauses that fall off the end union back.
+func (w *walker) walkCases(s ast.Stmt, h *held) bool {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, h)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, h)
+		}
+		w.scanExpr(s.Assign, h)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	anyFlows := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, h)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, h)
+			}
+			stmts = c.Body
+		}
+		cs := h.clone()
+		if w.walkStmts(stmts, cs) {
+			h.union(cs)
+			anyFlows = true
+		}
+	}
+	// A switch without clauses (or where every clause terminates) may
+	// still fall through when no case matches; stay conservative.
+	return anyFlows || len(body.List) == 0 || !isSelect(s)
+}
+
+func isSelect(s ast.Stmt) bool {
+	_, ok := s.(*ast.SelectStmt)
+	return ok
+}
+
+// scanExpr scans a non-statement subtree for lock operations and calls
+// in source order, skipping nested function literals (separate roots).
+func (w *walker) scanExpr(n ast.Node, h *held) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.handleCall(call, h)
+		return true
+	})
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies call as a lock or unlock of a trackable lock,
+// returning its stable ID ("" when the call is not a lock operation or
+// the lock has no stable identity).
+func (w *walker) lockOp(call *ast.CallExpr) (string, lockOpKind) {
+	fn := analysis.CalleeFunc(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	var op lockOpKind
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", opNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	return w.lockID(sel), op
+}
+
+// lockID derives the stable identity of the lock a Lock/Unlock selector
+// operates on: package.Type.field for named struct fields (including
+// one level of embedding), package.var for package-level vars, "" for
+// locals and unrecognized shapes.
+func (w *walker) lockID(sel *ast.SelectorExpr) string {
+	info := w.pass.TypesInfo
+	if s, ok := info.Selections[sel]; ok && s.Obj() != nil {
+		// sel is `x.Lock` with the mutex embedded somewhere under x, or
+		// `x.mu.Lock` resolved as a method on the field. Walk the
+		// selection to the field that carries the mutex.
+		recv := s.Recv()
+		idx := s.Index()
+		if len(idx) > 1 {
+			// Method promoted through embedded fields: the lock is the
+			// innermost embedded field; credit it to the outermost named
+			// type for a stable, readable identity.
+			return fieldID(recv, idx[:len(idx)-1])
+		}
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// s.mu.Lock(): x is the field selector s.mu.
+		if fs, ok := info.Selections[x]; ok {
+			if v, ok := fs.Obj().(*types.Var); ok && v.IsField() {
+				if owner := namedOf(fs.Recv()); owner != nil {
+					return typeID(owner) + "." + v.Name()
+				}
+			}
+		}
+		// pkg.mu.Lock(): package-qualified var.
+		if obj := info.Uses[x.Sel]; obj != nil && analysis.IsPackageLevel(obj) && isMutexType(obj.Type()) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			return ""
+		}
+		if analysis.IsPackageLevel(obj) && isMutexType(obj.Type()) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		// s.Lock() on a type embedding the mutex.
+		if owner := namedOf(obj.Type()); owner != nil {
+			if f := embeddedMutexField(owner); f != "" {
+				return typeID(owner) + "." + f
+			}
+		}
+	}
+	return ""
+}
+
+// handleCall processes one call under the current held set: lock ops
+// mutate the set (recording edges on acquisition), and same-package
+// calls forward one level into the callee's direct acquisitions.
+func (w *walker) handleCall(call *ast.CallExpr, h *held) {
+	if id, op := w.lockOp(call); op != opNone {
+		switch op {
+		case opLock:
+			if id != "" {
+				for _, from := range h.order {
+					w.fact.Edges = append(w.fact.Edges, Edge{From: from, To: id, Pos: call.Pos()})
+				}
+				h.acquire(id)
+			}
+		case opUnlock:
+			if id != "" {
+				h.release(id)
+			}
+		}
+		return
+	}
+	if len(h.order) == 0 {
+		return
+	}
+	fn := analysis.CalleeFunc(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() != w.pass.Pkg {
+		return
+	}
+	for _, acq := range w.summaries[fn] {
+		for _, from := range h.order {
+			w.fact.Edges = append(w.fact.Edges, Edge{From: from, To: acq.To, Pos: call.Pos()})
+		}
+	}
+}
+
+// directAcquisitions lists the locks a body acquires directly (no
+// forwarding), for use as the one-level call summary.
+func directAcquisitions(pass *analysis.Pass, body *ast.BlockStmt) []Edge {
+	var out []Edge
+	w := &walker{pass: pass}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, op := w.lockOp(call); op == opLock && id != "" {
+			out = append(out, Edge{To: id, Pos: call.Pos()})
+		}
+		return true
+	})
+	return out
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func typeID(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func isMutexType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// embeddedMutexField returns the name of a directly embedded
+// sync.Mutex/RWMutex field of n, or "".
+func embeddedMutexField(n *types.Named) string {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && isMutexType(f.Type()) {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+// fieldID resolves a selection's embedded-field path to pkg.Type.field.
+func fieldID(recv types.Type, idx []int) string {
+	owner := namedOf(recv)
+	if owner == nil {
+		return ""
+	}
+	st, ok := owner.Underlying().(*types.Struct)
+	if !ok || len(idx) == 0 || idx[0] >= st.NumFields() {
+		return ""
+	}
+	return typeID(owner) + "." + st.Field(idx[0]).Name()
+}
+
+// collectDirectives maps (file, line) to lockrank directives.
+type directive struct {
+	name  string
+	level int64
+	pos   token.Pos
+}
+
+func collectDirectives(pass *analysis.Pass) map[string]map[int]directive {
+	out := map[string]map[int]directive{}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := rankRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				lv, err := strconv.ParseInt(m[2], 10, 64)
+				if err != nil {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]directive{}
+				}
+				out[pos.Filename][pos.Line] = directive{name: m[1], level: lv, pos: c.Pos()}
+			}
+		}
+	}
+	return out
+}
+
+// lookupDirective attaches directives to the mutex declarations they
+// annotate: a directive counts for the declaration on its own line or
+// the line above it.
+func lookupDirective(dirs map[string]map[int]directive, pos token.Position) (directive, bool) {
+	byLine := dirs[pos.Filename]
+	if byLine == nil {
+		return directive{}, false
+	}
+	if d, ok := byLine[pos.Line]; ok {
+		return d, true
+	}
+	if d, ok := byLine[pos.Line-1]; ok {
+		return d, true
+	}
+	return directive{}, false
+}
+
+func collectRanks(pass *analysis.Pass, file *ast.File, dirs map[string]map[int]directive, fact *Fact) {
+	info := pass.TypesInfo
+	pkgPath := pass.Pkg.Path()
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			// Ranked fields: find the enclosing named type via Defs.
+			for _, f := range n.Fields.List {
+				if len(f.Names) == 0 {
+					continue
+				}
+				v, ok := info.Defs[f.Names[0]].(*types.Var)
+				if !ok || !isMutexType(v.Type()) {
+					continue
+				}
+				d, ok := lookupDirective(dirs, pass.Fset.Position(f.Pos()))
+				if !ok {
+					continue
+				}
+				owner := ownerTypeName(info, pass.Fset, file, f.Pos())
+				if owner == "" {
+					continue
+				}
+				id := pkgPath + "." + owner + "." + f.Names[0].Name
+				fact.Ranks = append(fact.Ranks, Rank{ID: id, Name: d.name, Level: d.level, Pos: f.Pos()})
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				obj := info.Defs[name]
+				if obj == nil || !analysis.IsPackageLevel(obj) || !isMutexType(obj.Type()) {
+					continue
+				}
+				d, ok := lookupDirective(dirs, pass.Fset.Position(name.Pos()))
+				if !ok {
+					continue
+				}
+				fact.Ranks = append(fact.Ranks, Rank{ID: pkgPath + "." + name.Name, Name: d.name, Level: d.level, Pos: name.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// ownerTypeName finds the name of the type declaration lexically
+// enclosing pos in file.
+func ownerTypeName(info *types.Info, fset *token.FileSet, file *ast.File, pos token.Pos) string {
+	var name string
+	ast.Inspect(file, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		if ts.Pos() <= pos && pos <= ts.End() {
+			name = ts.Name.Name
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// finish assembles the global graph: rank-order violations on every
+// edge between ranked locks, self-edges, and cycles over the rest.
+func finish(fp *analysis.FinishPass) error {
+	var edges []Edge
+	rankByID := map[string]Rank{}
+	nameToID := map[string]string{}
+	var rankList []Rank
+	for _, f := range fp.Facts {
+		fact := f.Fact.(Fact)
+		edges = append(edges, fact.Edges...)
+		rankList = append(rankList, fact.Ranks...)
+	}
+	sort.Slice(rankList, func(i, j int) bool { return rankList[i].ID < rankList[j].ID })
+	for _, r := range rankList {
+		if prev, ok := rankByID[r.ID]; ok && prev.Level != r.Level {
+			fp.Reportf(r.Pos, "lock %s declared with conflicting lockrank levels %d and %d", r.ID, prev.Level, r.Level)
+			continue
+		}
+		if id, ok := nameToID[r.Name]; ok && id != r.ID {
+			fp.Reportf(r.Pos, "lockrank name %q is already used by %s; hierarchy names must be unique", r.Name, id)
+			continue
+		}
+		rankByID[r.ID] = r
+		nameToID[r.Name] = r.ID
+	}
+
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].Pos < edges[j].Pos
+	})
+
+	// Dedup to one representative (first position) per ordered pair.
+	rep := map[pair]Edge{}
+	adj := map[string][]string{}
+	for _, e := range edges {
+		p := pair{e.From, e.To}
+		if _, ok := rep[p]; ok {
+			continue
+		}
+		rep[p] = e
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+
+	for p, e := range rep {
+		_ = p
+		if e.From == e.To {
+			fp.Reportf(e.Pos, "lock %s acquired while an instance of %s is already held (self-deadlock unless instances are provably distinct and ordered)", e.To, e.From)
+			continue
+		}
+		rf, okF := rankByID[e.From]
+		rt, okT := rankByID[e.To]
+		if okF && okT && rf.Level >= rt.Level {
+			fp.Reportf(e.Pos, "lock %s (lockrank %s %d) acquired while holding %s (lockrank %s %d); declared hierarchy requires strictly increasing levels", e.To, rt.Name, rt.Level, e.From, rf.Name, rf.Level)
+		}
+	}
+
+	reportCycles(fp, rep, adj, rankByID)
+	return nil
+}
+
+type pair struct{ from, to string }
+
+// reportCycles finds strongly connected components with more than one
+// node (self-loops are reported separately) and reports each once, at
+// the smallest edge position inside the component, with a readable
+// cycle path. Components whose locks are all ranked are skipped: a
+// cycle over ranked locks necessarily contains a rank violation, which
+// the hierarchy check already reported edge-by-edge.
+func reportCycles(fp *analysis.FinishPass, rep map[pair]Edge, adj map[string][]string, rankByID map[string]Rank) {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for _, to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan's SCC, iterative over sorted nodes for determinism.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wn := range adj[v] {
+			if _, ok := index[wn]; !ok {
+				strongconnect(wn)
+				if low[wn] < low[v] {
+					low[v] = low[wn]
+				}
+			} else if onStack[wn] && index[wn] < low[v] {
+				low[v] = index[wn]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+
+	for _, comp := range sccs {
+		sort.Strings(comp)
+		allRanked := true
+		for _, v := range comp {
+			if _, ok := rankByID[v]; !ok {
+				allRanked = false
+				break
+			}
+		}
+		if allRanked {
+			continue
+		}
+		inComp := map[string]bool{}
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		var pos token.Pos
+		for p, e := range rep {
+			if inComp[p.from] && inComp[p.to] && (pos == token.NoPos || e.Pos < pos) {
+				pos = e.Pos
+			}
+		}
+		path := cyclePath(comp, adj, inComp)
+		fp.Reportf(pos, "potential deadlock: lock-order cycle %s", path)
+	}
+}
+
+// cyclePath renders one concrete cycle through the component, starting
+// from its smallest member.
+func cyclePath(comp []string, adj map[string][]string, inComp map[string]bool) string {
+	start := comp[0]
+	var path []string
+	cur := start
+	visited := map[string]bool{}
+	for {
+		path = append(path, cur)
+		if visited[cur] {
+			break
+		}
+		visited[cur] = true
+		nextNode := ""
+		for _, to := range adj[cur] {
+			if inComp[to] && (to == start || !visited[to]) {
+				nextNode = to
+				break
+			}
+		}
+		if nextNode == "" {
+			break
+		}
+		if nextNode == start {
+			path = append(path, start)
+			break
+		}
+		cur = nextNode
+	}
+	return strings.Join(path, " -> ") + fmt.Sprintf(" (%d locks involved)", len(comp))
+}

@@ -1,0 +1,179 @@
+// Package lockordera exercises the lockorder analyzer: cycles,
+// self-edges, declared-rank violations, one-level forwarding, and the
+// clean patterns the walker must not flag (early unlock on a return
+// branch, sequential lock/unlock, embedded mutexes).
+package lockordera
+
+import "sync"
+
+// Cycle pair: this package locks Left then Right; lockorderb locks
+// Right then Left. The cycle is reported once, at the earliest edge.
+type Left struct{ Mu sync.Mutex }
+
+type Right struct{ Mu sync.Mutex }
+
+var (
+	L Left
+	R Right
+)
+
+func LeftThenRight() {
+	L.Mu.Lock()
+	R.Mu.Lock() // want `potential deadlock: lock-order cycle lockordera\.Left\.Mu -> lockordera\.Right\.Mu -> lockordera\.Left\.Mu`
+	R.Mu.Unlock()
+	L.Mu.Unlock()
+}
+
+// Self-edge: two instances of the same lock ID nested.
+type Node struct{ mu sync.Mutex }
+
+func (n *Node) link(o *Node) {
+	n.mu.Lock()
+	o.mu.Lock() // want `lock lockordera\.Node\.mu acquired while an instance of lockordera\.Node\.mu is already held`
+	o.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// Declared hierarchy: lo (10) must be acquired before hi (20).
+type RankLo struct {
+	mu sync.Mutex //joinlint:lockrank fix-lo 10
+}
+
+type RankHi struct {
+	mu sync.Mutex //joinlint:lockrank fix-hi 20
+}
+
+var (
+	lo RankLo
+	hi RankHi
+)
+
+func loThenHi() { // increasing levels: clean
+	lo.mu.Lock()
+	hi.mu.Lock()
+	hi.mu.Unlock()
+	lo.mu.Unlock()
+}
+
+func hiThenLo() {
+	hi.mu.Lock()
+	lo.mu.Lock() // want `lock lockordera\.RankLo\.mu \(lockrank fix-lo 10\) acquired while holding lockordera\.RankHi\.mu \(lockrank fix-hi 20\)`
+	lo.mu.Unlock()
+	hi.mu.Unlock()
+}
+
+// Package-level ranked mutex, below the struct ranks: clean when taken
+// first.
+//
+//joinlint:lockrank fix-global 5
+var globalMu sync.Mutex
+
+func globalThenLo() {
+	globalMu.Lock()
+	lo.mu.Lock()
+	lo.mu.Unlock()
+	globalMu.Unlock()
+}
+
+// One-level forwarding: outerThenInner never touches FwdInner.mu
+// syntactically, but lockInner does, so the edge (and the rank
+// violation) lands on the call site.
+type FwdOuter struct {
+	mu sync.Mutex //joinlint:lockrank fix-fwd-outer 50
+}
+
+type FwdInner struct {
+	mu sync.Mutex //joinlint:lockrank fix-fwd-inner 40
+}
+
+var (
+	fwdOuter FwdOuter
+	fwdInner FwdInner
+)
+
+func lockInner() {
+	fwdInner.mu.Lock()
+	fwdInner.mu.Unlock()
+}
+
+func outerThenInner() {
+	fwdOuter.mu.Lock()
+	lockInner() // want `lock lockordera\.FwdInner\.mu \(lockrank fix-fwd-inner 40\) acquired while holding lockordera\.FwdOuter\.mu \(lockrank fix-fwd-outer 50\)`
+	fwdOuter.mu.Unlock()
+}
+
+// Early unlock on a terminating branch: the walker must not treat
+// EarlyHi.mu as held after the if, so locking EarlyLo afterwards is
+// clean even though 60 -> 55 would violate the hierarchy.
+type EarlyHi struct {
+	mu sync.Mutex //joinlint:lockrank fix-early-hi 60
+}
+
+type EarlyLo struct {
+	mu sync.Mutex //joinlint:lockrank fix-early-lo 55
+}
+
+var (
+	earlyHi EarlyHi
+	earlyLo EarlyLo
+)
+
+func earlyUnlock(cond bool) {
+	earlyHi.mu.Lock()
+	if cond {
+		earlyHi.mu.Unlock()
+		return
+	}
+	earlyHi.mu.Unlock()
+	earlyLo.mu.Lock()
+	earlyLo.mu.Unlock()
+}
+
+// Deferred unlock holds to function end: the later acquisition nests
+// under the deferred one, producing an increasing (clean) edge.
+func deferNest() {
+	earlyLo.mu.Lock()
+	defer earlyLo.mu.Unlock()
+	earlyHi.mu.Lock()
+	earlyHi.mu.Unlock()
+}
+
+// Embedded mutex: identity is the embedded field, usage is clean.
+type Counter struct {
+	sync.Mutex
+	n int
+}
+
+func (c *Counter) Inc() {
+	c.Lock()
+	c.n++
+	c.Unlock()
+}
+
+// Locals are not tracked: no stable identity, no diagnostics.
+func localLocks() {
+	var a, b sync.Mutex
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// A goroutine body is its own root: locks held at the spawn site are
+// not held inside it, so this is not a self-edge.
+func spawn() {
+	var wg sync.WaitGroup
+	lo.mu.Lock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lo.mu.Lock()
+		lo.mu.Unlock()
+	}()
+	lo.mu.Unlock()
+	wg.Wait()
+}

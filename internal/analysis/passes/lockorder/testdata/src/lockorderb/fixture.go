@@ -1,0 +1,15 @@
+// Package lockorderb closes the cross-package lock cycle opened by
+// lockordera: it acquires Right before Left, so the whole-program graph
+// has Left -> Right (from lockordera) and Right -> Left (from here).
+// The cycle diagnostic is reported once, at the earliest edge, which
+// lives in lockordera.
+package lockorderb
+
+import "lockordera"
+
+func RightThenLeft() {
+	lockordera.R.Mu.Lock()
+	lockordera.L.Mu.Lock()
+	lockordera.L.Mu.Unlock()
+	lockordera.R.Mu.Unlock()
+}

@@ -27,6 +27,7 @@ type Predicate interface {
 }
 
 var (
+	//joinlint:lockrank engine-registry 40
 	registryMu sync.RWMutex
 	registry   = map[string]Predicate{}
 )

@@ -1,0 +1,15 @@
+package engine
+
+import (
+	"os"
+	"testing"
+
+	"joinpebble/internal/testutil/leakcheck"
+)
+
+// TestMain gates the suite on goroutine hygiene: solver worker pools
+// spawned through the planner ladder must all be joined by the time the
+// tests finish (the dynamic side of the golife analyzer's static rule).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -79,6 +79,7 @@ var (
 	// fired while I was open" from two loads.
 	firedTotal atomic.Int64
 
+	//joinlint:lockrank faultinject-sites 80
 	mu    sync.Mutex
 	sites = map[string]*site{}
 )

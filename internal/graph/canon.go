@@ -62,7 +62,10 @@ func (f Fingerprint) String() string {
 
 // Mix folds extra words — a family kind hash, guarantee bits — into the
 // fingerprint, so structurally identical graphs presented under
-// different predicate families key separately.
+// different predicate families key separately. Callers pass literal
+// word lists, which escape analysis keeps on the stack.
+//
+//joinpebble:hotpath
 func (f Fingerprint) Mix(words ...uint64) Fingerprint {
 	for _, w := range words {
 		f.Hi = mix64(f.Hi, w)
@@ -103,6 +106,8 @@ type canonEnt struct {
 // less orders candidates by (color, assigned-neighborhood hash, id) —
 // every component isomorphism-invariant except the final id, which only
 // breaks ties between vertices the first two could not separate.
+//
+//joinpebble:hotpath
 func (e canonEnt) less(o canonEnt) bool {
 	// Frontier first: a vertex adjacent to the assigned prefix
 	// (ver > 0) always beats an untouched one, keeping the order
@@ -247,6 +252,8 @@ func mix64(h, x uint64) uint64 {
 // labelComponents fills sc.comp with a component id per vertex and
 // sc.cinfo[ci] with a hash of the component's (order, size), returning
 // the component count. Plain BFS on the scratch queue.
+//
+//joinpebble:hotpath
 func labelComponents(c *csr, n int, sc *CanonScratch) int {
 	for v := 0; v < n; v++ {
 		sc.comp[v] = -1

@@ -63,6 +63,7 @@ type Graph struct {
 	index map[Edge]int // normalized edge -> position in edges; nil for graphs built frozen
 	adj   [][]int      // adjacency lists (neighbor vertex ids)
 
+	//joinlint:lockrank graph-csr 70
 	csrMu  sync.Mutex // guards lazy construction of csr
 	csr    *csr       // compact index; nil until Freeze/Optimize
 	frozen bool       // mutation disabled once set

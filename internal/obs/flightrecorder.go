@@ -34,6 +34,7 @@ type FlightRecord struct {
 // The zero value is not usable; use NewFlightRecorder or the package
 // DefaultRecorder.
 type FlightRecorder struct {
+	//joinlint:lockrank obs-flightrec 35
 	mu           sync.Mutex
 	recentCap    int
 	flaggedCap   int

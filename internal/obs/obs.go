@@ -355,6 +355,7 @@ func (t *Timer) merge(src *Timer) {
 // so instrumentation sites bind their metric once in a package var and
 // pay no map lookup afterwards.
 type Registry struct {
+	//joinlint:lockrank obs-registry 30
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
@@ -469,18 +470,38 @@ func (r *Registry) Reset() {
 // buckets. Scope rollup is the only caller — src is a closed scope's
 // quiescent child registry, so reading it metric-by-metric is consistent
 // enough.
+//
+// src's maps are snapshotted under its read lock and merged after the
+// lock is released: Counter/Histogram/Timer take r.mu, and r and src
+// share the same lock identity (both are Registries), so merging while
+// holding src.mu would nest Registry.mu inside Registry.mu — the exact
+// self-deadlock shape the lockorder analyzer rejects (and a real one
+// whenever a rollup ever targeted the source registry).
 func (r *Registry) addFrom(src *Registry) {
 	src.mu.RLock()
-	defer src.mu.RUnlock()
+	counters := make(map[string]*Counter, len(src.counters))
 	for name, c := range src.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for name, h := range src.hists {
+		hists[name] = h
+	}
+	timers := make(map[string]*Timer, len(src.timers))
+	for name, t := range src.timers {
+		timers[name] = t
+	}
+	src.mu.RUnlock()
+
+	for name, c := range counters {
 		if v := c.Value(); v != 0 {
 			r.Counter(name).Add(v)
 		}
 	}
-	for name, h := range src.hists {
+	for name, h := range hists {
 		r.Histogram(name, h.bounds).merge(h)
 	}
-	for name, t := range src.timers {
+	for name, t := range timers {
 		r.Timer(name).merge(t)
 	}
 }

@@ -91,6 +91,7 @@ func Start(addr string) (*Server, error) {
 			IdleTimeout:       2 * time.Minute,
 		},
 	}
+	//joinlint:ignore golife deliberate daemon: the debug accept loop runs until Shutdown; a binary that never calls it keeps the listener for its whole life
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown; a binary without Shutdown dies with the process
 	return s, nil
 }

@@ -106,6 +106,7 @@ type Scope struct {
 	faultBase int64
 	recorder  *FlightRecorder
 
+	//joinlint:lockrank obs-scope 10
 	mu     sync.Mutex
 	flags  []string
 	notes  map[string]string

@@ -1,0 +1,16 @@
+package obs
+
+import (
+	"os"
+	"testing"
+
+	"joinpebble/internal/testutil/leakcheck"
+)
+
+// TestMain gates the suite on goroutine hygiene: scope rollups and
+// trace absorption are synchronous by design, so any goroutine left
+// after the tests is a regression (the dynamic side of the golife
+// analyzer's static rule).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

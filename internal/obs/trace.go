@@ -22,6 +22,7 @@ import (
 // Tracer records spans against a fixed epoch. Create with NewTracer;
 // a nil *Tracer is the disabled tracer and is safe to use.
 type Tracer struct {
+	//joinlint:lockrank obs-tracer 20
 	mu       sync.Mutex
 	epoch    time.Time
 	spans    []*Span // creation order; parents always precede children

@@ -96,6 +96,7 @@ type slot struct {
 }
 
 type shard struct {
+	//joinlint:lockrank schemecache-shard 50
 	mu       sync.Mutex
 	idx      map[graph.Fingerprint]int
 	slots    []slot

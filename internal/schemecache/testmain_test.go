@@ -1,0 +1,16 @@
+package schemecache
+
+import (
+	"os"
+	"testing"
+
+	"joinpebble/internal/testutil/leakcheck"
+)
+
+// TestMain gates the suite on goroutine hygiene: the sharded cache is
+// all mutexes and no goroutines, so anything still running after the
+// tests (a stray eviction helper, a leaked stress-test worker) is a
+// bug (the dynamic side of the golife analyzer's static rule).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -56,6 +56,7 @@ type Client struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 
+	//joinlint:lockrank serve-client 60
 	mu  sync.Mutex
 	rng *rand.Rand
 }

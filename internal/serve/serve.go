@@ -180,6 +180,7 @@ func Start(cfg Config) (*Server, error) {
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	//joinlint:ignore golife deliberate daemon: the accept loop runs until Shutdown/Close closes the listener, which every caller owns via Server.Shutdown
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
 	return s, nil
 }

@@ -15,6 +15,7 @@ import (
 	"joinpebble/internal/obs"
 	"joinpebble/internal/schemecache"
 	"joinpebble/internal/solver"
+	"joinpebble/internal/testutil/leakcheck"
 )
 
 // startServer boots a server on a loopback ephemeral port and tears it
@@ -330,9 +331,15 @@ func TestHandlerFaultRetryable(t *testing.T) {
 // TestClientDisconnectCancelsSolve pins the cancellation contract: a
 // client that hangs up mid-solve cancels the solve through the request
 // context and increments serve/request/canceled; no response is written.
+//
+// The leakcheck snapshot is taken after startServer, so the accept loop
+// is baseline and the verification — which runs before the shutdown
+// cleanup, cleanups being LIFO — asserts specifically that the handler
+// goroutine serving the canceled solve does not outlive the disconnect.
 func TestClientDisconnectCancelsSolve(t *testing.T) {
 	defer faultinject.Reset()
 	s := startServer(t, Config{})
+	leakcheck.Check(t)
 
 	// Hold the request mid-flight so the disconnect happens while the
 	// handler is working.

@@ -1,0 +1,16 @@
+package serve
+
+import (
+	"os"
+	"testing"
+
+	"joinpebble/internal/testutil/leakcheck"
+)
+
+// TestMain gates the suite on goroutine hygiene: after a clean run, any
+// goroutine beyond the pre-test baseline — a handler outliving its
+// request, an accept loop surviving Shutdown — fails the package. This
+// is the dynamic side of the golife analyzer's static rule.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}
